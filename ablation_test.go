@@ -1,0 +1,198 @@
+package janus
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// simulator's cost calibration, the §5.3 online-checking alternative, log
+// reclamation, privatization strategy, and ordered vs unordered commits.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/core"
+	"repro/internal/stm"
+	"repro/internal/vtime"
+	"repro/internal/workloads"
+)
+
+// BenchmarkAblationCostModel varies the simulator's calibration constants
+// (per-op cost and commit/replay cost, each ×0.5 and ×2) and reports the
+// 8-thread speedups of both detectors on the best-case (jfilesync) and
+// overhead-bound (jgrapht2) benchmarks. The qualitative Figure 9 claims —
+// sequence-based beats write-set, write-set stays below 1x — hold at
+// every calibration point; only magnitudes move.
+func BenchmarkAblationCostModel(b *testing.B) {
+	scales := []struct {
+		name          string
+		opMul, comMul float64
+	}{
+		{"baseline", 1, 1},
+		{"cheap-ops", 0.5, 1},
+		{"costly-ops", 2, 1},
+		{"cheap-commit", 1, 0.5},
+		{"costly-commit", 1, 2},
+	}
+	for _, wname := range []string{"jfilesync", "jgrapht2"} {
+		w, err := workloads.ByName(wname)
+		if err != nil {
+			b.Fatal(err)
+		}
+		engine := trainedEngine(b, w, false)
+		for _, sc := range scales {
+			cost := vtime.DefaultCost()
+			cost.Op *= sc.opMul
+			cost.CommitBase *= sc.comMul
+			cost.ReplayWritePerOp *= sc.comMul
+			cost.ReplayReadPerOp *= sc.comMul
+			for _, detName := range []string{"sequence", "write-set"} {
+				b.Run(fmt.Sprintf("%s/%s/%s", wname, sc.name, detName), func(b *testing.B) {
+					var stats vtime.Stats
+					for i := 0; i < b.N; i++ {
+						det := conflict.Detector(conflict.NewWriteSet())
+						if detName == "sequence" {
+							det = engine.Detector()
+						}
+						var err error
+						_, stats, err = vtime.Run(vtime.Config{
+							Threads:  8,
+							Ordered:  w.Ordered,
+							Detector: det,
+							Cost:     &cost,
+						}, w.NewState(), w.Tasks(workloads.Production, benchSeed))
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(stats.Speedup, "speedup")
+					b.ReportMetric(0, "ns/op")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAblationOnlineDetection compares the cached (trained) sequence
+// detector against the §5.3 online alternative, which runs the concrete
+// Figure 8 checks at runtime on every miss. Measured as real CPU time of
+// the wall-clock runtime — the paper's expectation that online checking
+// is "unlikely to be acceptable in performance" shows up as ns/op.
+func BenchmarkAblationOnlineDetection(b *testing.B) {
+	w, err := workloads.ByName("jfilesync")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks := w.Tasks(workloads.Small, benchSeed)
+	for _, mode := range []string{"cached", "online"} {
+		b.Run(mode, func(b *testing.B) {
+			var det conflict.Detector
+			if mode == "cached" {
+				det = trainedEngine(b, w, false).Detector()
+			} else {
+				online := core.NewEngine(core.Options{Online: true, Relax: w.Relaxations})
+				d := online.Detector()
+				d.Online = true
+				det = d
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := stm.Run(stm.Config{
+					Threads:  4,
+					Detector: det,
+				}, w.NewState(), tasks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLogReclamation measures the committed-history footprint
+// with and without the reclamation extension, reporting the peak history
+// length.
+func BenchmarkAblationLogReclamation(b *testing.B) {
+	w, err := workloads.ByName("pmd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks := w.Tasks(workloads.Small, benchSeed)
+	engine := trainedEngine(b, w, false)
+	for _, reclaim := range []bool{false, true} {
+		name := "keep-all"
+		if reclaim {
+			name = "reclaim"
+		}
+		b.Run(name, func(b *testing.B) {
+			var maxHist int64
+			for i := 0; i < b.N; i++ {
+				_, stats, err := stm.Run(stm.Config{
+					Threads:     4,
+					Detector:    engine.Detector(),
+					ReclaimLogs: reclaim,
+				}, w.NewState(), tasks)
+				if err != nil {
+					b.Fatal(err)
+				}
+				maxHist = stats.MaxHist
+			}
+			b.ReportMetric(float64(maxHist), "peak-history")
+		})
+	}
+}
+
+// BenchmarkAblationPrivatization compares naive whole-state copying (the
+// paper prototype) with copy-on-access over the persistent map (the
+// paper's proposed improvement) on a benchmark with a large shared state.
+func BenchmarkAblationPrivatization(b *testing.B) {
+	w, err := workloads.ByName("jgrapht2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks := w.Tasks(workloads.Small, benchSeed)
+	engine := trainedEngine(b, w, false)
+	for _, priv := range []stm.Privatize{stm.PrivatizeCopy, stm.PrivatizePersistent} {
+		b.Run(priv.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := stm.Run(stm.Config{
+					Threads:   4,
+					Detector:  engine.Detector(),
+					Privatize: priv,
+				}, w.NewState(), tasks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCommitOrder compares ordered and unordered commits on
+// the coloring benchmark (which is legal under both).
+func BenchmarkAblationCommitOrder(b *testing.B) {
+	w, err := workloads.ByName("jgrapht1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := trainedEngine(b, w, false)
+	for _, ordered := range []bool{false, true} {
+		name := "unordered"
+		if ordered {
+			name = "ordered"
+		}
+		b.Run(name, func(b *testing.B) {
+			var stats vtime.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, stats, err = vtime.Run(vtime.Config{
+					Threads:  8,
+					Ordered:  ordered,
+					Detector: engine.Detector(),
+				}, w.NewState(), w.Tasks(workloads.Production, benchSeed))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(stats.Speedup, "speedup")
+			b.ReportMetric(stats.RetryRatio(), "retries/txn")
+			b.ReportMetric(0, "ns/op")
+		})
+	}
+}

@@ -1,0 +1,72 @@
+// Command janus-advise profiles a benchmark sequentially and reports, per
+// shared location, the §2 semantic pattern it exhibits and the §5.3
+// consistency relaxations the advisor can justify — the automated
+// counterpart of the paper's Hawkeye-assisted, hand-written specification
+// step (§7.1).
+//
+// Usage:
+//
+//	janus-advise -workload jgrapht1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/advisor"
+	"repro/internal/state"
+	"repro/internal/train"
+	"repro/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "", "benchmark to advise on (required)")
+	flag.Parse()
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "janus-advise: -workload is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	w, err := workloads.ByName(*name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "janus-advise: %v\n", err)
+		os.Exit(1)
+	}
+	p := train.NewProfiler(w.NewState())
+	if err := p.Run(w.Tasks(workloads.Training, 1000)); err != nil {
+		fmt.Fprintf(os.Stderr, "janus-advise: %v\n", err)
+		os.Exit(1)
+	}
+	rep := advisor.Analyze(p.Trace())
+	fmt.Printf("benchmark: %s — %d shared locations\n\n", w.Name, len(rep.Findings))
+	rep.Render(os.Stdout)
+
+	safe := rep.SafeRelaxations()
+	fmt.Printf("\nsafe relaxation specification:\n")
+	printSpec(safe.RAW, "RAW")
+	printSpec(safe.WAW, "WAW")
+	if w.Relaxations != nil {
+		fmt.Printf("\nhand-written specification (internal/workloads):\n")
+		printSpec(w.Relaxations.RAW, "RAW")
+		printSpec(w.Relaxations.WAW, "WAW")
+	}
+}
+
+func printSpec(m map[state.Loc]bool, kind string) {
+	var locs []string
+	for l, on := range m {
+		if on {
+			locs = append(locs, string(l))
+		}
+	}
+	sort.Strings(locs)
+	if len(locs) == 0 {
+		fmt.Printf("  tolerate %s: (none)\n", kind)
+		return
+	}
+	for _, l := range locs {
+		fmt.Printf("  tolerate %s: %s\n", kind, l)
+	}
+}

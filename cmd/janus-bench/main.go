@@ -1,0 +1,115 @@
+// Command janus-bench regenerates the JANUS evaluation (§7): Figures 9,
+// 10, and 11 and Tables 5 and 6.
+//
+// Usage:
+//
+//	janus-bench                         # everything, production inputs
+//	janus-bench -figure 9               # one figure
+//	janus-bench -table 5                # one table
+//	janus-bench -size small -runs 2     # faster, reduced inputs
+//	janus-bench -workloads jfilesync,pmd
+//	janus-bench -mode wall              # wall-clock runtime (multi-core hosts)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/vtime"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		figure   = flag.Int("figure", 0, "regenerate one figure (9, 10, or 11); 0 = all")
+		table    = flag.Int("table", 0, "print one table (5 or 6); 0 = all")
+		size     = flag.String("size", "production", "input scale: production, training, or small")
+		runs     = flag.Int("runs", 0, "measured production runs per configuration (0 = mode default; paper: 10)")
+		threads  = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+		names    = flag.String("workloads", "", "comma-separated benchmark filter (default all)")
+		mode     = flag.String("mode", "sim", "measurement mode: sim (virtual-time machine) or wall (real goroutines)")
+		training = flag.Bool("training-summary", false, "also print the per-benchmark training reports")
+		timeline = flag.String("timeline", "", "print the simulated schedule of one benchmark and exit")
+		cores    = flag.Int("cores", 0, "override the simulated machine's core count (0 = the paper's 4-core/2-SMT testbed)")
+	)
+	flag.Parse()
+
+	opts := bench.Opts{ProdRuns: *runs}
+	switch *size {
+	case "production":
+		opts.Size = workloads.Production
+	case "training":
+		opts.Size = workloads.Training
+	case "small":
+		opts.Size = workloads.Small
+	default:
+		fatalf("unknown -size %q", *size)
+	}
+	switch *mode {
+	case "sim":
+		opts.Mode = bench.Simulated
+	case "wall":
+		opts.Mode = bench.WallClock
+	default:
+		fatalf("unknown -mode %q", *mode)
+	}
+	for _, part := range strings.Split(*threads, ",") {
+		var th int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &th); err != nil || th < 1 {
+			fatalf("bad -threads entry %q", part)
+		}
+		opts.Threads = append(opts.Threads, th)
+	}
+	if *names != "" {
+		opts.Workloads = strings.Split(*names, ",")
+	}
+	if *cores > 0 {
+		opts.Machine = &vtime.Machine{Cores: *cores, SMTBonus: 0.25}
+	}
+
+	out := os.Stdout
+	if *timeline != "" {
+		check(bench.Timeline(out, *timeline, opts.Threads[len(opts.Threads)-1], opts))
+		return
+	}
+	wantFig := func(n int) bool { return *figure == 0 && *table == 0 || *figure == n }
+	wantTab := func(n int) bool { return *figure == 0 && *table == 0 || *table == n }
+
+	if wantTab(5) {
+		bench.Table5(out)
+		fmt.Fprintln(out)
+	}
+	if wantTab(6) {
+		bench.Table6(out)
+		fmt.Fprintln(out)
+	}
+	if wantFig(9) {
+		check(bench.Figure9(out, opts))
+		fmt.Fprintln(out)
+	}
+	if wantFig(10) {
+		check(bench.Figure10(out, opts))
+		fmt.Fprintln(out)
+	}
+	if wantFig(11) {
+		check(bench.Figure11(out, opts))
+		fmt.Fprintln(out)
+	}
+	if *training {
+		check(bench.TrainingSummary(out))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "janus-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command janus-trace inspects the training-time dependence analysis
+// (§5.1) for one benchmark: the sequential trace, the dependence-graph
+// edges over projection locations, and the mined per-location, per-task
+// operation sequences, with their §5.2 regular abstractions.
+//
+// Usage:
+//
+//	janus-trace -workload jfilesync
+//	janus-trace -workload pmd -edges -max 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/deps"
+	"repro/internal/seqabs"
+	"repro/internal/train"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		name      = flag.String("workload", "", "benchmark to trace (required)")
+		showEdges = flag.Bool("edges", false, "also dump dependence-graph edges")
+		maxItems  = flag.Int("max", 20, "max items to print per section")
+	)
+	flag.Parse()
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "janus-trace: -workload is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	w, err := workloads.ByName(*name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "janus-trace: %v\n", err)
+		os.Exit(1)
+	}
+	st := w.NewState()
+	p := train.NewProfiler(st)
+	if err := p.Run(w.Tasks(workloads.Training, 1000)); err != nil {
+		fmt.Fprintf(os.Stderr, "janus-trace: %v\n", err)
+		os.Exit(1)
+	}
+	trace := p.Trace()
+	fmt.Printf("benchmark: %s — training trace: %d operations\n\n", w.Name, len(trace))
+
+	if *showEdges {
+		g := deps.Build(trace)
+		fmt.Printf("dependence graph: %d edges (showing up to %d)\n", len(g.Edges), *maxItems)
+		for i, e := range g.Edges {
+			if i >= *maxItems {
+				fmt.Printf("  … %d more\n", len(g.Edges)-i)
+				break
+			}
+			fmt.Printf("  %s\n", e)
+		}
+		fmt.Println()
+	}
+
+	mined := deps.Mine(trace)
+	shared := deps.SharedPLocs(mined)
+	fmt.Printf("projection locations: %d total, %d shared across tasks\n\n", len(mined), len(shared))
+
+	abs := &seqabs.Abstracter{Mode: seqabs.Abstract}
+	fmt.Printf("mined shared-location sequences (showing up to %d locations):\n", *maxItems)
+	printed := 0
+	for _, ploc := range shared {
+		if printed >= *maxItems {
+			fmt.Printf("… %d more shared locations\n", len(shared)-printed)
+			break
+		}
+		printed++
+		fmt.Printf("%s:\n", ploc)
+		seqs := mined[ploc]
+		shown := seqs
+		if len(shown) > 4 {
+			shown = shown[:4]
+		}
+		for _, s := range shown {
+			fmt.Printf("  %s\n", s)
+			fmt.Printf("    abstraction: %s\n", abs.Key(s.Syms()))
+		}
+		if len(seqs) > len(shown) {
+			fmt.Printf("  … %d more task sequences\n", len(seqs)-len(shown))
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command janus-train runs the offline training phase (§5.1) for one
+// benchmark and dumps the learned commutativity specification: the cache
+// of abstract sequence-pair patterns and their proved condition kinds,
+// plus the per-payload training reports.
+//
+// Usage:
+//
+//	janus-train -workload jfilesync
+//	janus-train -workload weka -no-abstraction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		name  = flag.String("workload", "", "benchmark to train (required); one of jfilesync, jgrapht1, jgrapht2, pmd, weka")
+		noAbs = flag.Bool("no-abstraction", false, "disable §5.2 sequence abstraction")
+		out   = flag.String("out", "", "also write the trained specification as JSON to this file")
+	)
+	flag.Parse()
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "janus-train: -workload is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	w, err := workloads.ByName(*name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "janus-train: %v\n", err)
+		os.Exit(1)
+	}
+	engine := core.NewEngine(core.Options{
+		DisableAbstraction: *noAbs,
+		Relax:              w.Relaxations,
+	})
+	if err := engine.TrainMany(w.NewState(), w.TrainingPayloads()); err != nil {
+		fmt.Fprintf(os.Stderr, "janus-train: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchmark: %s (%s)\n", w.Name, w.Desc)
+	fmt.Printf("abstraction: %v\n\n", !*noAbs)
+	for i, rep := range engine.Reports() {
+		fmt.Printf("training run %d: %s\n", i+1, rep)
+	}
+	fmt.Printf("\ncommutativity specification (%d entries):\n%s", engine.Cache().Len(), engine.Cache().Dump())
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "janus-train: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := engine.SaveSpec(f); err != nil {
+			fmt.Fprintf(os.Stderr, "janus-train: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nspecification written to %s\n", *out)
+	}
+}

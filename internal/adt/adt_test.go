@@ -1,0 +1,286 @@
+package adt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/oplog"
+	"repro/internal/state"
+)
+
+// directExec applies ops straight to a state and records events, standing
+// in for a transaction.
+type directExec struct {
+	st  *state.State
+	log oplog.Log
+}
+
+func (d *directExec) Exec(op oplog.Op) (state.Value, error) {
+	acc := op.Accesses(d.st)
+	v, err := op.Apply(d.st)
+	if err != nil {
+		return nil, err
+	}
+	d.log = append(d.log, &oplog.Event{Op: op, Seq: len(d.log), Acc: acc, Observed: v})
+	return v, nil
+}
+
+func newExec() *directExec {
+	st := state.New()
+	st.Set("work", state.Int(0))
+	st.Set("name", state.Str(""))
+	st.Set("flag", state.Bool(false))
+	st.Set("stack", state.IntList{})
+	st.Set("bits", NewRelValue())
+	st.Set("map", NewRelValue())
+	st.Set("arr", NewRelValue())
+	st.Set("canvas", NewRelValue())
+	return &directExec{st: st}
+}
+
+func TestCounter(t *testing.T) {
+	ex := newExec()
+	c := Counter{L: "work"}
+	if err := c.Add(ex, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sub(ex, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Load(ex)
+	if err != nil || v != 3 {
+		t.Fatalf("Load = %d, %v; want 3", v, err)
+	}
+	if err := c.Store(ex, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.Load(ex); v != 42 {
+		t.Fatalf("after Store, Load = %d", v)
+	}
+	// Sub logs a negative add.
+	syms := ex.log.Syms()
+	if syms[1].Kind != KindNumAdd || syms[1].Arg != "-2" {
+		t.Errorf("Sub sym = %v", syms[1])
+	}
+}
+
+func TestCounterErrors(t *testing.T) {
+	ex := newExec()
+	bad := Counter{L: "missing"}
+	if err := bad.Add(ex, 1); err == nil {
+		t.Errorf("Add on unbound loc must error")
+	}
+	if _, err := bad.Load(ex); err == nil {
+		t.Errorf("Load on unbound loc must error")
+	}
+	wrong := Counter{L: "name"} // holds Str
+	if err := wrong.Add(ex, 1); err == nil || !strings.Contains(err.Error(), "want Int") {
+		t.Errorf("type mismatch must error, got %v", err)
+	}
+}
+
+func TestStrAndBoolVars(t *testing.T) {
+	ex := newExec()
+	s := StrVar{L: "name"}
+	if err := s.Store(ex, "file.go"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.Load(ex); err != nil || v != "file.go" {
+		t.Fatalf("Load = %q, %v", v, err)
+	}
+	b := BoolVar{L: "flag"}
+	if err := b.Store(ex, true); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := b.Load(ex); err != nil || !v {
+		t.Fatalf("Load = %v, %v", v, err)
+	}
+	if _, err := (StrVar{L: "work"}).Load(ex); err == nil {
+		t.Errorf("Str load of Int loc must error")
+	}
+	if _, err := (BoolVar{L: "work"}).Load(ex); err == nil {
+		t.Errorf("Bool load of Int loc must error")
+	}
+}
+
+func TestStack(t *testing.T) {
+	ex := newExec()
+	s := Stack{L: "stack"}
+	for _, v := range []int64{10, 20, 30} {
+		if err := s.Push(ex, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := s.Size(ex); n != 3 {
+		t.Fatalf("Size = %d", n)
+	}
+	if v, err := s.Pop(ex); err != nil || v != 30 {
+		t.Fatalf("Pop = %d, %v", v, err)
+	}
+	if n, _ := s.Size(ex); n != 2 {
+		t.Fatalf("Size after pop = %d", n)
+	}
+	_, _ = s.Pop(ex)
+	_, _ = s.Pop(ex)
+	if _, err := s.Pop(ex); err == nil {
+		t.Errorf("pop from empty stack must error")
+	}
+}
+
+func TestBitSet(t *testing.T) {
+	ex := newExec()
+	b := BitSet{L: "bits"}
+	if err := b.Set(ex, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := b.Get(ex, 3); !got {
+		t.Errorf("bit 3 must be set")
+	}
+	if got, _ := b.Get(ex, 4); got {
+		t.Errorf("bit 4 must be clear")
+	}
+	if err := b.Clear(ex, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := b.Get(ex, 3); got {
+		t.Errorf("bit 3 must be cleared")
+	}
+	_ = b.Set(ex, 1)
+	_ = b.Set(ex, 2)
+	if err := b.ClearAll(ex); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if got, _ := b.Get(ex, i); got {
+			t.Errorf("bit %d must be cleared by ClearAll", i)
+		}
+	}
+}
+
+func TestKVMap(t *testing.T) {
+	ex := newExec()
+	m := KVMap{L: "map"}
+	if err := m.Put(ex, "COUNTER", "7"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := m.Get(ex, "COUNTER")
+	if err != nil || !ok || v != "7" {
+		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := m.Get(ex, "absent"); ok {
+		t.Errorf("absent key must report !ok")
+	}
+	if has, _ := m.Has(ex, "COUNTER"); !has {
+		t.Errorf("Has must be true")
+	}
+	if err := m.Remove(ex, "COUNTER"); err != nil {
+		t.Fatal(err)
+	}
+	if has, _ := m.Has(ex, "COUNTER"); has {
+		t.Errorf("Has after Remove must be false")
+	}
+	// Removing an absent key is a read (observes absence), not a write.
+	pre := len(ex.log)
+	if err := m.Remove(ex, "COUNTER"); err != nil {
+		t.Fatal(err)
+	}
+	e := ex.log[pre]
+	if len(e.Acc) != 1 || !e.Acc[0].Read || e.Acc[0].Write {
+		t.Errorf("remove-absent access = %+v, want pure read", e.Acc)
+	}
+}
+
+func TestIntArray(t *testing.T) {
+	ex := newExec()
+	a := IntArray{L: "arr"}
+	if v, err := a.Get(ex, 9); err != nil || v != 0 {
+		t.Fatalf("unset index must read 0, got %d, %v", v, err)
+	}
+	if err := a.Set(ex, 9, -5); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.Get(ex, 9); v != -5 {
+		t.Fatalf("Get = %d", v)
+	}
+}
+
+func TestCanvas(t *testing.T) {
+	ex := newExec()
+	c := Canvas{L: "canvas"}
+	if err := c.DrawPixel(ex, 2, 3, "white"); err != nil {
+		t.Fatal(err)
+	}
+	col, ok, err := c.ReadPixel(ex, 2, 3)
+	if err != nil || !ok || col != "white" {
+		t.Fatalf("ReadPixel = %q %v %v", col, ok, err)
+	}
+	if _, ok, _ := c.ReadPixel(ex, 0, 0); ok {
+		t.Errorf("unpainted pixel must report !ok")
+	}
+}
+
+func TestRelOpsOnWrongType(t *testing.T) {
+	ex := newExec()
+	m := KVMap{L: "work"} // Int location
+	if err := m.Put(ex, "k", "v"); err == nil || !strings.Contains(err.Error(), "want Rel") {
+		t.Errorf("Put on scalar loc must error, got %v", err)
+	}
+}
+
+func TestRelClearAccessesListPresentKeys(t *testing.T) {
+	ex := newExec()
+	b := BitSet{L: "bits"}
+	_ = b.Set(ex, 1)
+	_ = b.Set(ex, 5)
+	op := RelClearOp{L: "bits"}
+	acc := op.Accesses(ex.st)
+	if len(acc) != 2 {
+		t.Fatalf("clear accesses = %v, want 2 writes", acc)
+	}
+	for _, a := range acc {
+		if !a.Write || a.Read {
+			t.Errorf("clear access %+v must be a pure write", a)
+		}
+	}
+	// On an empty relation the clear has no footprint.
+	_, _ = op.Apply(ex.st)
+	if got := op.Accesses(ex.st); len(got) != 0 {
+		t.Errorf("clear of empty relation must have empty footprint, got %v", got)
+	}
+}
+
+func TestOpStringsAndSyms(t *testing.T) {
+	cases := []struct {
+		op   oplog.Op
+		str  string
+		kind string
+		read bool
+	}{
+		{NumAddOp{L: "w", Delta: 2}, "w+=2", KindNumAdd, false},
+		{NumStoreOp{L: "w", V: 3}, "w=3", KindNumStore, false},
+		{NumLoadOp{L: "w"}, "load(w)", KindNumLoad, true},
+		{StrStoreOp{L: "s", V: "a"}, `s="a"`, KindStrStore, false},
+		{StrLoadOp{L: "s"}, "load(s)", KindStrLoad, true},
+		{BoolStoreOp{L: "b", V: true}, "b=true", KindBoolStore, false},
+		{BoolLoadOp{L: "b"}, "load(b)", KindBoolLoad, true},
+		{ListPushOp{L: "l", V: 4}, "l.push(4)", KindListPush, false},
+		{ListPopOp{L: "l"}, "l.pop()", KindListPop, true},
+		{ListSizeOp{L: "l"}, "l.size()", KindListSize, true},
+		{RelPutOp{L: "r", Key: "1", Val: "x"}, "r[1]=x", KindRelPut, false},
+		{RelRemoveOp{L: "r", Key: "1"}, "del r[1]", KindRelRemove, false},
+		{RelGetOp{L: "r", Key: "1"}, "r[1]", KindRelGet, true},
+		{RelHasOp{L: "r", Key: "1"}, "r.has(1)", KindRelHas, true},
+		{RelClearOp{L: "r"}, "r.clear()", KindRelClear, false},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.str {
+			t.Errorf("String = %q, want %q", got, c.str)
+		}
+		if got := c.op.Sym().Kind; got != c.kind {
+			t.Errorf("%s: Sym kind = %q, want %q", c.str, got, c.kind)
+		}
+		if got := c.op.IsRead(); got != c.read {
+			t.Errorf("%s: IsRead = %v, want %v", c.str, got, c.read)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package adt
+
+import (
+	"fmt"
+
+	"repro/internal/oplog"
+	"repro/internal/relation"
+	"repro/internal/state"
+)
+
+// Relational operations act on state.Rel values: relations over columns
+// {"k","v"} with functional dependency k → v, per the §6.1 convention that
+// the FD specializes the relation into a function from locations to
+// values. These are the abstract states of BitSet, KVMap, IntArray, and
+// Canvas.
+
+// DomainCol and RangeCol are the standard columns of ADT relations.
+const (
+	DomainCol = "k"
+	RangeCol  = "v"
+)
+
+// NewRelValue returns a fresh, empty ADT relation value.
+func NewRelValue() state.Rel {
+	return state.Rel{R: relation.New(
+		[]string{DomainCol, RangeCol},
+		&relation.FD{Domain: []string{DomainCol}, Range: []string{RangeCol}},
+	)}
+}
+
+// AbsentVal is the observed value a RelGetOp returns for an unbound key.
+const AbsentVal = "∅"
+
+func getRel(st *state.State, l state.Loc) (*relation.Relation, error) {
+	v, ok := st.Get(l)
+	if !ok {
+		return nil, fmt.Errorf("adt: unbound location %q", l)
+	}
+	rv, ok := v.(state.Rel)
+	if !ok {
+		return nil, fmt.Errorf("adt: location %q holds %T, want Rel", l, v)
+	}
+	return rv.R, nil
+}
+
+func relTuple(key, val string) relation.Tuple {
+	return relation.Tuple{DomainCol: key, RangeCol: val}
+}
+
+func relPLoc(l state.Loc, key string) oplog.PLoc {
+	return oplog.MakePLoc(l, DomainCol+"="+key)
+}
+
+// RelPutOp binds Key to Val in the relation at L ("insert" of Table 2).
+type RelPutOp struct {
+	L   state.Loc
+	Key string
+	Val string
+}
+
+// Apply implements oplog.Op.
+func (o RelPutOp) Apply(st *state.State) (state.Value, error) {
+	r, err := getRel(st, o.L)
+	if err != nil {
+		return nil, err
+	}
+	r.Insert(relTuple(o.Key, o.Val))
+	return nil, nil
+}
+
+// Accesses implements oplog.Op (InsertFootprint of Table 3: a write of the
+// key's subvalue).
+func (o RelPutOp) Accesses(*state.State) []oplog.Access {
+	return []oplog.Access{{P: relPLoc(o.L, o.Key), Write: true}}
+}
+
+// Sym implements oplog.Op. The key is part of the projection location, so
+// only the range value is the generalizable argument.
+func (o RelPutOp) Sym() oplog.Sym { return oplog.Sym{Kind: KindRelPut, Arg: o.Val} }
+
+// IsRead implements oplog.Op.
+func (o RelPutOp) IsRead() bool { return false }
+
+// String implements fmt.Stringer.
+func (o RelPutOp) String() string { return fmt.Sprintf("%s[%s]=%s", o.L, o.Key, o.Val) }
+
+// RelRemoveOp unbinds Key in the relation at L ("remove" of Table 2,
+// applied to the matching tuple).
+type RelRemoveOp struct {
+	L   state.Loc
+	Key string
+}
+
+// Apply implements oplog.Op.
+func (o RelRemoveOp) Apply(st *state.State) (state.Value, error) {
+	r, err := getRel(st, o.L)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range r.Matching(relTuple(o.Key, "")) {
+		r.Remove(t)
+	}
+	return nil, nil
+}
+
+// Accesses implements oplog.Op. Per §6.2, removing an absent tuple reads
+// the key (the op observes absence); removing a present one writes it.
+func (o RelRemoveOp) Accesses(st *state.State) []oplog.Access {
+	p := relPLoc(o.L, o.Key)
+	if r, err := getRel(st, o.L); err == nil {
+		if len(r.Matching(relTuple(o.Key, ""))) == 0 {
+			return []oplog.Access{{P: p, Read: true}}
+		}
+	}
+	return []oplog.Access{{P: p, Write: true}}
+}
+
+// Sym implements oplog.Op.
+func (o RelRemoveOp) Sym() oplog.Sym { return oplog.Sym{Kind: KindRelRemove} }
+
+// IsRead implements oplog.Op.
+func (o RelRemoveOp) IsRead() bool { return false }
+
+// String implements fmt.Stringer.
+func (o RelRemoveOp) String() string { return fmt.Sprintf("del %s[%s]", o.L, o.Key) }
+
+// RelGetOp reads the value bound to Key ("select" pinned to the key).
+type RelGetOp struct {
+	L   state.Loc
+	Key string
+}
+
+// Apply implements oplog.Op. Absent keys observe AbsentVal.
+func (o RelGetOp) Apply(st *state.State) (state.Value, error) {
+	r, err := getRel(st, o.L)
+	if err != nil {
+		return nil, err
+	}
+	m := r.Matching(relTuple(o.Key, ""))
+	if len(m) == 0 {
+		return state.Str(AbsentVal), nil
+	}
+	return state.Str(m[0][RangeCol]), nil
+}
+
+// Accesses implements oplog.Op.
+func (o RelGetOp) Accesses(*state.State) []oplog.Access {
+	return []oplog.Access{{P: relPLoc(o.L, o.Key), Read: true}}
+}
+
+// Sym implements oplog.Op.
+func (o RelGetOp) Sym() oplog.Sym { return oplog.Sym{Kind: KindRelGet} }
+
+// IsRead implements oplog.Op.
+func (o RelGetOp) IsRead() bool { return true }
+
+// String implements fmt.Stringer.
+func (o RelGetOp) String() string { return fmt.Sprintf("%s[%s]", o.L, o.Key) }
+
+// RelHasOp reads whether Key is bound.
+type RelHasOp struct {
+	L   state.Loc
+	Key string
+}
+
+// Apply implements oplog.Op.
+func (o RelHasOp) Apply(st *state.State) (state.Value, error) {
+	r, err := getRel(st, o.L)
+	if err != nil {
+		return nil, err
+	}
+	return state.Bool(len(r.Matching(relTuple(o.Key, ""))) > 0), nil
+}
+
+// Accesses implements oplog.Op.
+func (o RelHasOp) Accesses(*state.State) []oplog.Access {
+	return []oplog.Access{{P: relPLoc(o.L, o.Key), Read: true}}
+}
+
+// Sym implements oplog.Op.
+func (o RelHasOp) Sym() oplog.Sym { return oplog.Sym{Kind: KindRelHas} }
+
+// IsRead implements oplog.Op.
+func (o RelHasOp) IsRead() bool { return true }
+
+// String implements fmt.Stringer.
+func (o RelHasOp) String() string { return fmt.Sprintf("%s.has(%s)", o.L, o.Key) }
+
+// RelClearOp removes every tuple of the relation at L. Its effect on keys
+// absent in the pre-state is vacuous, so its footprint is a write of each
+// key present at execution time (computed dynamically, like the §6.2
+// remove rule).
+type RelClearOp struct{ L state.Loc }
+
+// Apply implements oplog.Op.
+func (o RelClearOp) Apply(st *state.State) (state.Value, error) {
+	r, err := getRel(st, o.L)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range r.Tuples() {
+		r.Remove(t)
+	}
+	return nil, nil
+}
+
+// Accesses implements oplog.Op.
+func (o RelClearOp) Accesses(st *state.State) []oplog.Access {
+	r, err := getRel(st, o.L)
+	if err != nil {
+		return nil
+	}
+	var out []oplog.Access
+	for _, t := range r.Tuples() {
+		out = append(out, oplog.Access{P: relPLoc(o.L, t[DomainCol]), Write: true})
+	}
+	return out
+}
+
+// Sym implements oplog.Op.
+func (o RelClearOp) Sym() oplog.Sym { return oplog.Sym{Kind: KindRelClear} }
+
+// IsRead implements oplog.Op.
+func (o RelClearOp) IsRead() bool { return false }
+
+// String implements fmt.Stringer.
+func (o RelClearOp) String() string { return fmt.Sprintf("%s.clear()", o.L) }

@@ -1,0 +1,189 @@
+// Package cache implements the commutativity-specification cache JANUS
+// builds during offline training and queries during parallel execution
+// (§5.1, §5.3). Entries map a pair of abstract sequence patterns (the
+// §5.2 regular forms, or concrete shapes when abstraction is disabled) to
+// the condition kind proved sound for that pair.
+//
+// The cache also keeps the hit/miss accounting behind Figure 11: unique
+// queries are tracked by key, so repeated hits or misses on the same query
+// count once, matching the paper's measurement methodology.
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/commute"
+	"repro/internal/oplog"
+	"repro/internal/seqabs"
+)
+
+// Cache is a concurrency-safe commutativity specification.
+type Cache struct {
+	abs *seqabs.Abstracter
+
+	mu      sync.RWMutex
+	entries map[string]commute.ConditionKind
+	hits    map[string]int
+	misses  map[string]int
+}
+
+// New returns an empty cache whose keys are built under the given
+// abstraction mode.
+func New(mode seqabs.Mode) *Cache {
+	return &Cache{
+		abs:     &seqabs.Abstracter{Mode: mode},
+		entries: make(map[string]commute.ConditionKind),
+		hits:    make(map[string]int),
+		misses:  make(map[string]int),
+	}
+}
+
+// Mode returns the cache's abstraction mode.
+func (c *Cache) Mode() seqabs.Mode { return c.abs.Mode }
+
+// Key renders the cache key for a sequence pair.
+func (c *Cache) Key(s1, s2 []oplog.Sym) string { return c.abs.PairKey(s1, s2) }
+
+// Put records a proved condition for the pair's shape. CondNone entries
+// are ignored (an unprovable pair stays a miss).
+func (c *Cache) Put(s1, s2 []oplog.Sym, kind commute.ConditionKind) {
+	if kind == commute.CondNone {
+		return
+	}
+	key := c.Key(s1, s2)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.entries[key]; ok && prev != kind {
+		// Two training observations proved different conditions for one
+		// shape key; keep the weaker-but-general register/stack form over
+		// Always, since Always may only hold for the other instance.
+		if kind == commute.CondAlways {
+			return
+		}
+	}
+	c.entries[key] = kind
+}
+
+// Lookup answers a production commutativity query: whether the concrete
+// pair conflicts. hit reports whether the cache had a proved condition for
+// the pair's shape; on a miss the caller must fall back to write-set
+// detection. Hit/miss statistics are recorded per unique key.
+func (c *Cache) Lookup(s1, s2 []oplog.Sym) (conflict, hit bool) {
+	key := c.Key(s1, s2)
+	c.mu.Lock()
+	kind, ok := c.entries[key]
+	if ok {
+		c.hits[key]++
+	} else {
+		c.misses[key]++
+	}
+	c.mu.Unlock()
+	if !ok {
+		return true, false
+	}
+	conflict, evalOK := commute.Evaluate(kind, s1, s2)
+	if !evalOK {
+		// Shape matched but the instance left the theory (should not
+		// happen with consistent abstraction); be conservative.
+		return true, true
+	}
+	return conflict, true
+}
+
+// Len returns the number of cached shape pairs.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Merge folds another cache's entries into c (multiple training runs).
+// Conflicting kinds resolve as in Put.
+func (c *Cache) Merge(o *Cache) {
+	o.mu.RLock()
+	entries := make(map[string]commute.ConditionKind, len(o.entries))
+	for k, v := range o.entries {
+		entries[k] = v
+	}
+	o.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range entries {
+		if prev, ok := c.entries[k]; ok && prev != v && v == commute.CondAlways {
+			continue
+		}
+		c.entries[k] = v
+	}
+}
+
+// ResetStats clears hit/miss accounting (e.g. between the cold run and the
+// measured production runs).
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits = make(map[string]int)
+	c.misses = make(map[string]int)
+}
+
+// Stats summarizes query accounting.
+type Stats struct {
+	Lookups       int // total Lookup calls
+	Hits          int // total hits
+	Misses        int // total misses
+	UniqueQueries int // distinct query keys seen
+	UniqueHits    int // distinct keys that hit
+	UniqueMisses  int // distinct keys that missed (and never hit)
+	Entries       int
+}
+
+// UniqueMissRate returns the Figure 11 metric: the fraction of unique
+// queries with no matching cache entry.
+func (s Stats) UniqueMissRate() float64 {
+	if s.UniqueQueries == 0 {
+		return 0
+	}
+	return float64(s.UniqueMisses) / float64(s.UniqueQueries)
+}
+
+// Stats returns a snapshot of the accounting.
+func (c *Cache) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := Stats{Entries: len(c.entries)}
+	keys := make(map[string]struct{})
+	for k, n := range c.hits {
+		st.Hits += n
+		keys[k] = struct{}{}
+		st.UniqueHits++
+	}
+	for k, n := range c.misses {
+		st.Misses += n
+		if _, alsoHit := c.hits[k]; !alsoHit {
+			st.UniqueMisses++
+		}
+		keys[k] = struct{}{}
+	}
+	st.UniqueQueries = len(keys)
+	st.Lookups = st.Hits + st.Misses
+	return st
+}
+
+// Dump renders the cache contents deterministically for inspection and
+// golden tests.
+func (c *Cache) Dump() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s → %s\n", k, c.entries[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package cache
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/commute"
+	"repro/internal/oplog"
+	"repro/internal/seqabs"
+)
+
+// BenchmarkLookupHit measures the production-path cost of a cached
+// commutativity query — the cost §5.3 argues stays "on a par with
+// write-set detection".
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(seqabs.Abstract)
+	id := func(n string) []oplog.Sym {
+		return []oplog.Sym{
+			{Kind: adt.KindNumAdd, Arg: n}, {Kind: adt.KindNumAdd, Arg: "-" + n},
+		}
+	}
+	c.Put(id("1"), id("2"), commute.CondRegister)
+	q1, q2 := id("7"), id("9")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if conflict, hit := c.Lookup(q1, q2); !hit || conflict {
+			b.Fatal("unexpected result")
+		}
+	}
+}
+
+func BenchmarkLookupMiss(b *testing.B) {
+	c := New(seqabs.Abstract)
+	q1 := []oplog.Sym{{Kind: adt.KindNumStore, Arg: "1"}, {Kind: adt.KindNumLoad}}
+	q2 := []oplog.Sym{{Kind: adt.KindNumAdd, Arg: "5"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, hit := c.Lookup(q1, q2); hit {
+			b.Fatal("unexpected hit")
+		}
+	}
+}
+
+func BenchmarkLookupStackIdentity(b *testing.B) {
+	c := New(seqabs.Abstract)
+	bal := func(n int) []oplog.Sym {
+		var out []oplog.Sym
+		for i := 0; i < n; i++ {
+			out = append(out,
+				oplog.Sym{Kind: adt.KindListPush, Arg: strconv.Itoa(i)},
+				oplog.Sym{Kind: adt.KindListPop})
+		}
+		return out
+	}
+	c.Put(bal(2), bal(3), commute.CondStackIdentity)
+	q1, q2 := bal(5), bal(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if conflict, hit := c.Lookup(q1, q2); !hit || conflict {
+			b.Fatal("unexpected result")
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package cache
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/commute"
+	"repro/internal/oplog"
+	"repro/internal/seqabs"
+)
+
+func sym(kind, arg string) oplog.Sym { return oplog.Sym{Kind: kind, Arg: arg} }
+
+func idPair(a string) []oplog.Sym {
+	return []oplog.Sym{sym(adt.KindNumAdd, a), sym(adt.KindNumAdd, "-"+a)}
+}
+
+func TestPutLookupHit(t *testing.T) {
+	c := New(seqabs.Abstract)
+	c.Put(idPair("2"), idPair("3"), commute.CondRegister)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	conflict, hit := c.Lookup(idPair("7"), idPair("9"))
+	if !hit || conflict {
+		t.Fatalf("Lookup = conflict=%v hit=%v", conflict, hit)
+	}
+	// Longer instance still hits under abstraction.
+	long := append(idPair("1"), idPair("4")...)
+	conflict, hit = c.Lookup(long, idPair("9"))
+	if !hit || conflict {
+		t.Fatalf("long Lookup = conflict=%v hit=%v", conflict, hit)
+	}
+}
+
+func TestMissIsConservative(t *testing.T) {
+	c := New(seqabs.Abstract)
+	conflict, hit := c.Lookup(idPair("1"), idPair("2"))
+	if hit || !conflict {
+		t.Fatalf("empty cache must miss conservatively: conflict=%v hit=%v", conflict, hit)
+	}
+}
+
+func TestCondNoneIgnored(t *testing.T) {
+	c := New(seqabs.Abstract)
+	c.Put(idPair("1"), idPair("2"), commute.CondNone)
+	if c.Len() != 0 {
+		t.Fatalf("CondNone must not be stored")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(seqabs.Abstract)
+	c.Put(idPair("2"), idPair("3"), commute.CondAlways)
+	c.Lookup(idPair("1"), idPair("2")) // hit
+	c.Lookup(idPair("5"), idPair("6")) // hit, same key
+	store := []oplog.Sym{sym(adt.KindNumStore, "5")}
+	c.Lookup(store, store)       // miss
+	c.Lookup(store, store)       // miss, same key
+	c.Lookup(store, idPair("1")) // miss, new key
+	st := c.Stats()
+	if st.Lookups != 5 || st.Hits != 2 || st.Misses != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.UniqueQueries != 3 || st.UniqueHits != 1 || st.UniqueMisses != 2 {
+		t.Fatalf("unique stats = %+v", st)
+	}
+	if got := st.UniqueMissRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("UniqueMissRate = %v, want 2/3", got)
+	}
+	c.ResetStats()
+	if st := c.Stats(); st.Lookups != 0 || st.UniqueQueries != 0 {
+		t.Fatalf("after reset: %+v", st)
+	}
+	if (Stats{}).UniqueMissRate() != 0 {
+		t.Errorf("empty stats miss rate must be 0")
+	}
+}
+
+func TestPutConflictResolution(t *testing.T) {
+	c := New(seqabs.Abstract)
+	// Register first, then Always for the same shape: register wins.
+	store := []oplog.Sym{sym(adt.KindNumStore, "5")}
+	c.Put(store, store, commute.CondRegister)
+	c.Put(store, store, commute.CondAlways)
+	// store(5) vs store(6) must still evaluate (and conflict) under the
+	// kept register condition.
+	store6 := []oplog.Sym{sym(adt.KindNumStore, "6")}
+	conflict, hit := c.Lookup(store, store6)
+	if !hit || !conflict {
+		t.Fatalf("register condition must be kept: conflict=%v hit=%v", conflict, hit)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New(seqabs.Abstract)
+	b := New(seqabs.Abstract)
+	a.Put(idPair("1"), idPair("2"), commute.CondAlways)
+	store := []oplog.Sym{sym(adt.KindNumStore, "5")}
+	b.Put(store, store, commute.CondRegister)
+	a.Merge(b)
+	if a.Len() != 2 {
+		t.Fatalf("merged Len = %d, want 2", a.Len())
+	}
+	// Merge does not let Always overwrite an existing register entry.
+	b2 := New(seqabs.Abstract)
+	b2.Put(store, store, commute.CondAlways)
+	a.Merge(b2)
+	store6 := []oplog.Sym{sym(adt.KindNumStore, "6")}
+	if conflict, hit := a.Lookup(store, store6); !hit || !conflict {
+		t.Fatalf("merge must keep register entry: conflict=%v hit=%v", conflict, hit)
+	}
+}
+
+func TestModeAffectsKeys(t *testing.T) {
+	abs := New(seqabs.Abstract)
+	conc := New(seqabs.Concrete)
+	if abs.Mode() != seqabs.Abstract || conc.Mode() != seqabs.Concrete {
+		t.Fatalf("modes wrong")
+	}
+	short := idPair("2")
+	long := append(idPair("2"), idPair("3")...)
+	if abs.Key(short, short) != abs.Key(long, long) {
+		t.Errorf("abstract keys must unify lengths")
+	}
+	if conc.Key(short, short) == conc.Key(long, long) {
+		t.Errorf("concrete keys must distinguish lengths")
+	}
+}
+
+func TestDump(t *testing.T) {
+	c := New(seqabs.Abstract)
+	c.Put(idPair("1"), idPair("2"), commute.CondAlways)
+	d := c.Dump()
+	if !strings.Contains(d, "always") || !strings.Contains(d, "(num.add num.add)+") {
+		t.Errorf("Dump = %q", d)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(seqabs.Abstract)
+	c.Put(idPair("1"), idPair("1"), commute.CondAlways)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c.Lookup(idPair("3"), idPair("4"))
+				c.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Lookups != 1600 {
+		t.Fatalf("Lookups = %d, want 1600", st.Lookups)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := New(seqabs.Abstract)
+	store := []oplog.Sym{sym(adt.KindNumStore, "5")}
+	src.Put(idPair("1"), idPair("2"), commute.CondAlways)
+	src.Put(store, store, commute.CondRegister)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New(seqabs.Abstract)
+	if err := dst.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("loaded %d entries, want %d", dst.Len(), src.Len())
+	}
+	if dst.Dump() != src.Dump() {
+		t.Fatalf("round trip changed contents:\n%s\nvs\n%s", dst.Dump(), src.Dump())
+	}
+	// Loaded conditions behave: identity hit, different stores conflict.
+	if conflict, hit := dst.Lookup(idPair("9"), idPair("4")); !hit || conflict {
+		t.Fatalf("loaded identity pair: conflict=%v hit=%v", conflict, hit)
+	}
+	store6 := []oplog.Sym{sym(adt.KindNumStore, "6")}
+	if conflict, hit := dst.Lookup(store, store6); !hit || !conflict {
+		t.Fatalf("loaded store pair: conflict=%v hit=%v", conflict, hit)
+	}
+}
+
+func TestLoadRejectsModeMismatch(t *testing.T) {
+	src := New(seqabs.Concrete)
+	src.Put(idPair("1"), idPair("2"), commute.CondAlways)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New(seqabs.Abstract)
+	if err := dst.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatalf("mode mismatch must be rejected")
+	}
+	if dst.Len() != 0 {
+		t.Fatalf("failed load must leave cache unchanged")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dst := New(seqabs.Abstract)
+	for _, bad := range []string{
+		"not json",
+		`{"format":99,"mode":"abstract","entries":{}}`,
+		`{"format":1,"mode":"abstract","entries":{"k":"bogus-kind"}}`,
+	} {
+		if err := dst.Load(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q must be rejected", bad)
+		}
+	}
+	if dst.Len() != 0 {
+		t.Fatalf("failed loads must leave cache unchanged")
+	}
+}
+
+func TestModeFromString(t *testing.T) {
+	if m, err := ModeFromString("abstract"); err != nil || m != seqabs.Abstract {
+		t.Errorf("abstract: %v %v", m, err)
+	}
+	if m, err := ModeFromString("concrete"); err != nil || m != seqabs.Concrete {
+		t.Errorf("concrete: %v %v", m, err)
+	}
+	if _, err := ModeFromString("weird"); err == nil {
+		t.Errorf("unknown mode must error")
+	}
+}

@@ -1,0 +1,104 @@
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/commute"
+	"repro/internal/seqabs"
+)
+
+// The commutativity specification built by offline training is a
+// deployment artifact: train once on representative inputs, ship the spec,
+// load it in production (Figure 6's flow). This file gives it a stable
+// JSON serialization.
+
+// specFile is the on-disk format.
+type specFile struct {
+	// Format identifies the schema; bump on incompatible change.
+	Format int `json:"format"`
+	// Mode is the abstraction mode the keys were built under; a spec is
+	// only meaningful to a cache using the same mode.
+	Mode string `json:"mode"`
+	// Entries maps pair keys to condition kind names.
+	Entries map[string]string `json:"entries"`
+}
+
+// specFormat is the current schema version.
+const specFormat = 1
+
+func kindName(k commute.ConditionKind) string { return k.String() }
+
+func kindFromName(s string) (commute.ConditionKind, error) {
+	for _, k := range []commute.ConditionKind{
+		commute.CondAlways, commute.CondRegister, commute.CondStackIdentity,
+	} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return commute.CondNone, fmt.Errorf("cache: unknown condition kind %q", s)
+}
+
+// Save writes the cache's entries as JSON.
+func (c *Cache) Save(w io.Writer) error {
+	c.mu.RLock()
+	f := specFile{
+		Format:  specFormat,
+		Mode:    c.abs.Mode.String(),
+		Entries: make(map[string]string, len(c.entries)),
+	}
+	for k, v := range c.entries {
+		f.Entries[k] = kindName(v)
+	}
+	c.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Load merges a saved specification into the cache. It fails if the spec
+// was built under a different abstraction mode or contains unknown
+// condition kinds; on failure the cache is left unchanged.
+func (c *Cache) Load(r io.Reader) error {
+	var f specFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("cache: decoding spec: %w", err)
+	}
+	if f.Format != specFormat {
+		return fmt.Errorf("cache: unsupported spec format %d", f.Format)
+	}
+	if f.Mode != c.abs.Mode.String() {
+		return fmt.Errorf("cache: spec built with %s abstraction, cache uses %s", f.Mode, c.abs.Mode)
+	}
+	parsed := make(map[string]commute.ConditionKind, len(f.Entries))
+	for k, name := range f.Entries {
+		kind, err := kindFromName(name)
+		if err != nil {
+			return err
+		}
+		parsed[k] = kind
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range parsed {
+		if prev, ok := c.entries[k]; ok && prev != v && v == commute.CondAlways {
+			continue
+		}
+		c.entries[k] = v
+	}
+	return nil
+}
+
+// ModeFromString parses an abstraction mode name (for tools loading specs
+// whose mode must drive cache construction).
+func ModeFromString(s string) (seqabs.Mode, error) {
+	switch s {
+	case seqabs.Abstract.String():
+		return seqabs.Abstract, nil
+	case seqabs.Concrete.String():
+		return seqabs.Concrete, nil
+	}
+	return 0, fmt.Errorf("cache: unknown abstraction mode %q", s)
+}

@@ -1,0 +1,269 @@
+// Package commute implements the commutativity judgments at the heart of
+// JANUS: the concrete SAMEREAD and COMMUTE checks of the projection-based
+// CONFLICT algorithm (Figure 8, justified by Lemma 5.2), and the symbolic
+// condition language that training caches and production evaluates.
+//
+// A cached entry certifies, for a pair of abstract sequence shapes, which
+// decision procedure soundly answers commutativity queries for concrete
+// instances of those shapes:
+//
+//   - CondAlways: the shapes commute for every instance (e.g. two add-only
+//     reduction sequences) — no per-query work at all.
+//   - CondRegister: evaluate the register effect theory (internal/seqeff)
+//     on the concrete pair; exact for add/store/load sequences, covering
+//     the identity, reduction, equal-writes, and shared-as-local patterns.
+//   - CondStackIdentity: both stack sequences must be balanced (net
+//     identity), the JFileSync monitor pattern.
+//
+// Conditions are derived and verified during training (internal/train);
+// production never trusts a condition that training did not prove.
+package commute
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/adt"
+	"repro/internal/oplog"
+	"repro/internal/seqeff"
+	"repro/internal/state"
+)
+
+// ConditionKind identifies the decision procedure cached for a shape pair.
+type ConditionKind int
+
+// Condition kinds.
+const (
+	CondNone ConditionKind = iota
+	CondAlways
+	CondRegister
+	CondStackIdentity
+)
+
+// String renders the kind.
+func (k ConditionKind) String() string {
+	switch k {
+	case CondAlways:
+		return "always"
+	case CondRegister:
+		return "register"
+	case CondStackIdentity:
+		return "stack-identity"
+	default:
+		return "none"
+	}
+}
+
+// Prove derives the strongest condition kind that soundly decides
+// commutativity for concrete instances of the two sequences' shapes.
+// It returns CondNone when no theory covers the pair (the caller then
+// leaves the query uncached, and production falls back to write-set
+// detection).
+func Prove(s1, s2 []oplog.Sym) ConditionKind {
+	t1, t2 := seqeff.Classify(s1), seqeff.Classify(s2)
+	switch {
+	case t1 == seqeff.TheoryRegister && t2 == seqeff.TheoryRegister:
+		if addOnly(s1) && addOnly(s2) {
+			return CondAlways
+		}
+		if loadOnly(s1) && loadOnly(s2) {
+			return CondAlways
+		}
+		return CondRegister
+	case t1 == seqeff.TheoryStack && t2 == seqeff.TheoryStack:
+		return CondStackIdentity
+	default:
+		return CondNone
+	}
+}
+
+func addOnly(s []oplog.Sym) bool {
+	for _, x := range s {
+		if x.Kind != adt.KindNumAdd {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func loadOnly(s []oplog.Sym) bool {
+	for _, x := range s {
+		switch x.Kind {
+		case adt.KindNumLoad, adt.KindStrLoad, adt.KindBoolLoad, adt.KindRelGet, adt.KindRelHas, adt.KindListSize:
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// Evaluate runs the cached condition on a concrete sequence pair,
+// reporting whether the pair conflicts. ok is false when the sequences do
+// not actually fit the condition's theory (a malformed query; callers must
+// then fall back conservatively).
+func Evaluate(kind ConditionKind, s1, s2 []oplog.Sym) (conflict, ok bool) {
+	switch kind {
+	case CondAlways:
+		return false, true
+	case CondRegister:
+		a1, ok1 := seqeff.AnalyzeRegister(s1)
+		a2, ok2 := seqeff.AnalyzeRegister(s2)
+		if !ok1 || !ok2 {
+			return true, false
+		}
+		return seqeff.PairConflicts(a1, a2), true
+	case CondStackIdentity:
+		a1, ok1 := seqeff.AnalyzeStack(s1)
+		a2, ok2 := seqeff.AnalyzeStack(s2)
+		if !ok1 || !ok2 {
+			return true, false
+		}
+		return seqeff.StackPairConflicts(a1, a2), true
+	default:
+		return true, false
+	}
+}
+
+// --- Concrete Figure 8 checks ---
+
+// PLocValue reads the value the projection location denotes in st: the
+// scalar value for a plain location, or the key's bound range valuation
+// (with adt.AbsentVal for unbound) for a relational key. This is the
+// "s(l)" of the SAMEREAD and COMMUTE definitions instantiated at
+// projection granularity. The range valuation is rendered canonically
+// ("c=v" per range column), so the judgment works for any §6.1 schema,
+// not only the built-in single-key/single-value ADTs.
+func PLocValue(st *state.State, p oplog.PLoc) (state.Value, error) {
+	loc := p.Loc()
+	v, bound := st.Get(loc)
+	if !bound {
+		return nil, fmt.Errorf("commute: unbound location %q", loc)
+	}
+	key := p.Key()
+	if key == "" {
+		return v, nil
+	}
+	rel, isRel := v.(state.Rel)
+	if !isRel {
+		return nil, fmt.Errorf("commute: %q is not relational but PLoc %q has a key", loc, p)
+	}
+	rangeCols := rel.R.Cols()
+	if fd := rel.R.FDef(); fd != nil {
+		rangeCols = append([]string(nil), fd.Range...)
+		sort.Strings(rangeCols)
+	}
+	for _, t := range rel.R.Tuples() {
+		if rel.R.LocKey(t) == key {
+			return state.Str(t.Key(rangeCols)), nil
+		}
+	}
+	return state.Str(adt.AbsentVal), nil
+}
+
+// applyAll replays a per-location event subsequence onto st.
+func applyAll(st *state.State, seq oplog.Log) error {
+	for _, e := range seq {
+		if _, err := e.Op.Apply(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SameRead is the concrete SAMEREAD check of Figure 8 for one read prefix
+// of seq1: the value of l after the prefix is the same whether or not the
+// other sequence ran first, starting from entry state s.
+func SameRead(s *state.State, l oplog.PLoc, prefix, other oplog.Log) (bool, error) {
+	s1 := s.Clone()
+	if err := applyAll(s1, prefix); err != nil {
+		return false, err
+	}
+	v1, err := PLocValue(s1, l)
+	if err != nil {
+		return false, err
+	}
+	s2 := s.Clone()
+	if err := applyAll(s2, other); err != nil {
+		return false, err
+	}
+	if err := applyAll(s2, prefix); err != nil {
+		return false, err
+	}
+	v2, err := PLocValue(s2, l)
+	if err != nil {
+		return false, err
+	}
+	return v1.EqualValue(v2), nil
+}
+
+// readPrefixes returns, per GETREADSUBSEQUENCES, the prefixes of seq
+// ending at each observing (IsRead) operation.
+func readPrefixes(seq oplog.Log) []oplog.Log {
+	var out []oplog.Log
+	for i, e := range seq {
+		if e.Op.IsRead() {
+			out = append(out, seq[:i+1])
+		}
+	}
+	return out
+}
+
+// Commutes is the concrete COMMUTE check of Figure 8: l's value is the
+// same under both execution orders starting from entry state s.
+func Commutes(s *state.State, l oplog.PLoc, seq1, seq2 oplog.Log) (bool, error) {
+	ab := s.Clone()
+	if err := applyAll(ab, seq1); err != nil {
+		return false, err
+	}
+	if err := applyAll(ab, seq2); err != nil {
+		return false, err
+	}
+	vab, err := PLocValue(ab, l)
+	if err != nil {
+		return false, err
+	}
+	ba := s.Clone()
+	if err := applyAll(ba, seq2); err != nil {
+		return false, err
+	}
+	if err := applyAll(ba, seq1); err != nil {
+		return false, err
+	}
+	vba, err := PLocValue(ba, l)
+	if err != nil {
+		return false, err
+	}
+	return vab.EqualValue(vba), nil
+}
+
+// ConflictConcrete is the idealized CONFLICT of Figure 8 executed
+// concretely from entry state s: a conflict exists unless every read
+// prefix of each sequence passes SAMEREAD and the pair passes COMMUTE.
+// Training uses it to validate learned conditions on observed instances;
+// the "online" detection mode (an ablation the paper mentions in §5.3)
+// uses it directly.
+func ConflictConcrete(s *state.State, l oplog.PLoc, seq1, seq2 oplog.Log) (bool, error) {
+	for _, prefix := range readPrefixes(seq1) {
+		same, err := SameRead(s, l, prefix, seq2)
+		if err != nil {
+			return true, err
+		}
+		if !same {
+			return true, nil
+		}
+	}
+	for _, prefix := range readPrefixes(seq2) {
+		same, err := SameRead(s, l, prefix, seq1)
+		if err != nil {
+			return true, err
+		}
+		if !same {
+			return true, nil
+		}
+	}
+	commutes, err := Commutes(s, l, seq1, seq2)
+	if err != nil {
+		return true, err
+	}
+	return !commutes, nil
+}

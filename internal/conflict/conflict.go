@@ -1,0 +1,350 @@
+// Package conflict implements the conflict-detection algorithms the JANUS
+// protocol (Figure 7) is parameterized by: the standard write-set detector
+// used as the baseline throughout the paper's evaluation, and the
+// sequence-based detector of §5 — projection decomposition (Figure 8),
+// cached commutativity conditions, consistency relaxations (§5.3), and the
+// write-set fallback on cache misses.
+//
+// A detector must be sound (never admit a transaction that does not
+// commute with its conflict history) and valid (never reject a transaction
+// with an empty conflict history) for Theorem 4.1 to apply. The write-set
+// detector is trivially sound; the sequence detector's positive answers
+// come only from conditions proved during training.
+package conflict
+
+import (
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/commute"
+	"repro/internal/oplog"
+	"repro/internal/seqeff"
+	"repro/internal/state"
+)
+
+// Detector decides whether a transaction conflicts with its conflict
+// history — the logs of the transactions that committed while it ran, one
+// per committed transaction, in commit order (§4.1). snapshot is the
+// transaction's entry state (SharedSnapshot). Implementations must be
+// safe for concurrent use.
+//
+// The history is kept per-transaction because both Lemma 5.2 and the
+// training phase reason about pairs of single-transaction sequences; the
+// lemma extends to multiple committed transactions compositionally, so a
+// transaction that passes the checks against each committed transaction
+// individually passes them against their concatenation.
+type Detector interface {
+	Detect(snapshot *state.State, txn oplog.Log, committed []oplog.Log) bool
+	Name() string
+}
+
+// Stats counts detector activity.
+type Stats struct {
+	Detections    int64 // Detect calls
+	Conflicts     int64 // Detect calls that reported a conflict
+	PairQueries   int64 // per-location sequence queries (sequence detector)
+	Fallbacks     int64 // queries answered by the write-set fallback
+	RelaxedChecks int64 // queries answered by a relaxation-aware check
+}
+
+// --- Write-set detection ---
+
+// WriteSet is the traditional detector: two transactions conflict iff they
+// mutually access a location and at least one of the accesses is a write.
+type WriteSet struct {
+	stats Stats
+}
+
+// NewWriteSet returns the baseline detector.
+func NewWriteSet() *WriteSet { return &WriteSet{} }
+
+// Name implements Detector.
+func (w *WriteSet) Name() string { return "write-set" }
+
+// Stats returns a snapshot of the counters.
+func (w *WriteSet) Stats() Stats {
+	return Stats{
+		Detections: atomic.LoadInt64(&w.stats.Detections),
+		Conflicts:  atomic.LoadInt64(&w.stats.Conflicts),
+	}
+}
+
+// Detect implements Detector.
+func (w *WriteSet) Detect(_ *state.State, txn oplog.Log, committed []oplog.Log) bool {
+	atomic.AddInt64(&w.stats.Detections, 1)
+	mt := accessModes(txn)
+	for _, c := range committed {
+		if pairConflictsWriteSet(mt, accessModes(c), nil) {
+			atomic.AddInt64(&w.stats.Conflicts, 1)
+			return true
+		}
+	}
+	return false
+}
+
+// mode aggregates how a log touches one projection location.
+type mode struct {
+	read, write bool
+}
+
+func accessModes(l oplog.Log) map[oplog.PLoc]mode {
+	m := make(map[oplog.PLoc]mode)
+	for _, e := range l {
+		for _, a := range e.Acc {
+			cur := m[a.P]
+			cur.read = cur.read || a.Read
+			cur.write = cur.write || a.Write
+			m[a.P] = cur
+		}
+	}
+	return m
+}
+
+// pairConflictsWriteSet applies the write-set rule over every overlapping
+// projection-location pair, honoring relaxations when non-nil.
+func pairConflictsWriteSet(mt, mc map[oplog.PLoc]mode, relax *Relaxations) bool {
+	for p, tm := range mt {
+		for q, cm := range mc {
+			if !p.Overlaps(q) {
+				continue
+			}
+			if writeSetConflict(p, tm, cm, relax) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func writeSetConflict(p oplog.PLoc, a, b mode, relax *Relaxations) bool {
+	loc := p.Loc()
+	waw := a.write && b.write
+	rw := (a.read && b.write) || (a.write && b.read)
+	if relax != nil {
+		if waw && !relax.TolerateWAW(loc) {
+			return true
+		}
+		if rw && !relax.TolerateRAW(loc) {
+			return true
+		}
+		return false
+	}
+	return waw || rw
+}
+
+// --- Relaxation specifications (§5.3) ---
+
+// Relaxations is the user-provided consistency-relaxation specification:
+// per shared location (data structure), whether read-after-write and/or
+// write-after-write conflicts are tolerable. Tolerating RAW drops the
+// SAMEREAD checks for the location (cf. Figure 3's maxColor); tolerating
+// WAW drops the final COMMUTE test (cf. Figure 4's shared-as-local
+// fields). The zero value tolerates nothing.
+type Relaxations struct {
+	RAW map[state.Loc]bool
+	WAW map[state.Loc]bool
+}
+
+// TolerateRAW reports whether RAW conflicts on loc are tolerable.
+func (r *Relaxations) TolerateRAW(loc state.Loc) bool {
+	return r != nil && r.RAW[loc]
+}
+
+// TolerateWAW reports whether WAW conflicts on loc are tolerable.
+func (r *Relaxations) TolerateWAW(loc state.Loc) bool {
+	return r != nil && r.WAW[loc]
+}
+
+// Any reports whether loc has any relaxation.
+func (r *Relaxations) Any(loc state.Loc) bool {
+	return r.TolerateRAW(loc) || r.TolerateWAW(loc)
+}
+
+// NewRelaxations builds a specification from location lists.
+func NewRelaxations(raw, waw []state.Loc) *Relaxations {
+	rx := &Relaxations{RAW: make(map[state.Loc]bool), WAW: make(map[state.Loc]bool)}
+	for _, l := range raw {
+		rx.RAW[l] = true
+	}
+	for _, l := range waw {
+		rx.WAW[l] = true
+	}
+	return rx
+}
+
+// --- Sequence-based detection (Figure 8) ---
+
+// Sequence is the hindsight detector: per-location sequence pairs are
+// answered from the trained commutativity cache, relaxation-aware theory
+// checks, the concrete online check (optional), or the write-set fallback.
+type Sequence struct {
+	// Cache holds the trained commutativity specification. A nil cache
+	// makes every query a miss (pure fallback).
+	Cache *cache.Cache
+	// Relax is the consistency-relaxation specification; may be nil.
+	Relax *Relaxations
+	// Online enables the §5.3 alternative of running the sequence-based
+	// check concretely at runtime on cache misses instead of falling back
+	// to write-set detection ("unlikely to be acceptable in performance",
+	// which the ablation benchmarks confirm).
+	Online bool
+	// LearnOnline implements the §5.3 remark that "memoization can be
+	// used to support online training": on a cache miss, the detector
+	// attempts to prove a condition for the pair's shape right away and
+	// caches it, so an untrained system converges to trained behavior
+	// after one miss per shape pair.
+	LearnOnline bool
+	// InferWAW enables the §5.3 "limited automatic inference": when
+	// out-of-order parallelization is permitted, write-after-write
+	// dependences between two transactions are ignored — a pair whose
+	// reads are all order-insensitive is admitted even when the final
+	// values differ, because serializing the transactions in commit
+	// order is then a correct serial outcome. It is sound ONLY for
+	// unordered commits; the runtime must not combine it with ordered
+	// execution.
+	InferWAW bool
+
+	stats Stats
+}
+
+// NewSequence returns a sequence detector over the given trained cache.
+func NewSequence(c *cache.Cache, relax *Relaxations) *Sequence {
+	return &Sequence{Cache: c, Relax: relax}
+}
+
+// Name implements Detector.
+func (s *Sequence) Name() string { return "sequence" }
+
+// Stats returns a snapshot of the counters.
+func (s *Sequence) Stats() Stats {
+	return Stats{
+		Detections:    atomic.LoadInt64(&s.stats.Detections),
+		Conflicts:     atomic.LoadInt64(&s.stats.Conflicts),
+		PairQueries:   atomic.LoadInt64(&s.stats.PairQueries),
+		Fallbacks:     atomic.LoadInt64(&s.stats.Fallbacks),
+		RelaxedChecks: atomic.LoadInt64(&s.stats.RelaxedChecks),
+	}
+}
+
+// Detect implements Detector, realizing DETECTCONFLICTS of Figure 8: the
+// transaction's log and each committed transaction's log are decomposed
+// into per-location subsequences, and every overlapping pair is checked.
+func (s *Sequence) Detect(snapshot *state.State, txn oplog.Log, committed []oplog.Log) bool {
+	atomic.AddInt64(&s.stats.Detections, 1)
+	mt := oplog.Decompose(txn)
+	for _, c := range committed {
+		mc := oplog.Decompose(c)
+		for p, seqT := range mt {
+			for q, seqC := range mc {
+				if !p.Overlaps(q) {
+					continue
+				}
+				atomic.AddInt64(&s.stats.PairQueries, 1)
+				if s.pairConflicts(snapshot, p, q, seqT, seqC) {
+					atomic.AddInt64(&s.stats.Conflicts, 1)
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// pairConflicts answers one per-location query.
+func (s *Sequence) pairConflicts(snapshot *state.State, p, q oplog.PLoc, seqT, seqC oplog.Log) bool {
+	// Wildcard-extent pairs (whole-relation observations) are outside the
+	// per-key sequence theories: conservative write-set rule.
+	if p.IsWildcard() || q.IsWildcard() {
+		atomic.AddInt64(&s.stats.Fallbacks, 1)
+		return s.fallback(seqT, seqC)
+	}
+	loc := p.Loc()
+	if s.Relax.Any(loc) {
+		atomic.AddInt64(&s.stats.RelaxedChecks, 1)
+		return s.relaxedConflicts(loc, seqT, seqC)
+	}
+	if s.InferWAW && !s.inferWAWConflicts(seqT, seqC) {
+		return false
+	}
+	if s.Cache != nil {
+		symsT, symsC := seqT.Syms(), seqC.Syms()
+		conflict, hit := s.Cache.Lookup(symsT, symsC)
+		if hit {
+			return conflict
+		}
+		if s.LearnOnline {
+			if kind := commute.Prove(symsT, symsC); kind != commute.CondNone {
+				s.Cache.Put(symsT, symsC, kind)
+				if conflict, ok := commute.Evaluate(kind, symsT, symsC); ok {
+					return conflict
+				}
+			}
+		}
+	}
+	// Miss: concrete online check or write-set fallback.
+	if s.Online && snapshot != nil {
+		conflict, err := commute.ConflictConcrete(snapshot, p, seqT, seqC)
+		if err == nil {
+			return conflict
+		}
+	}
+	atomic.AddInt64(&s.stats.Fallbacks, 1)
+	return s.fallback(seqT, seqC)
+}
+
+// inferWAWConflicts is the commit-order judgment behind InferWAW: the
+// running transaction conflicts with a committed one only if some read of
+// the running transaction observes a value the committed transaction's
+// composite effect changes. The committed transaction serializes first
+// (it already did), so its own reads and the pair's final-value
+// disagreement are immaterial. Pairs outside the effect theories report a
+// conflict here and flow on to the normal (stricter) pipeline.
+func (s *Sequence) inferWAWConflicts(seqT, seqC oplog.Log) bool {
+	symsT, symsC := seqT.Syms(), seqC.Syms()
+	if aT, ok := seqeff.AnalyzeRegister(symsT); ok {
+		if aC, ok := seqeff.AnalyzeRegister(symsC); ok {
+			return !seqeff.SameRead(aT, aC.Eff)
+		}
+	}
+	if aT, ok := seqeff.AnalyzeStack(symsT); ok {
+		if aC, ok := seqeff.AnalyzeStack(symsC); ok {
+			return !seqeff.StackReadsStable(aT, aC)
+		}
+	}
+	return true
+}
+
+// relaxedConflicts evaluates the Figure 8 checks with the location's
+// relaxations applied: tolerated RAW drops SAMEREAD, tolerated WAW drops
+// COMMUTE. Sequences outside both theories fall back to the relaxed
+// write-set rule.
+func (s *Sequence) relaxedConflicts(loc state.Loc, seqT, seqC oplog.Log) bool {
+	dropSame := s.Relax.TolerateRAW(loc)
+	dropCommute := s.Relax.TolerateWAW(loc)
+	symsT, symsC := seqT.Syms(), seqC.Syms()
+	if a1, ok := seqeff.AnalyzeRegister(symsT); ok {
+		if a2, ok := seqeff.AnalyzeRegister(symsC); ok {
+			if !dropSame && (!seqeff.SameRead(a1, a2.Eff) || !seqeff.SameRead(a2, a1.Eff)) {
+				return true
+			}
+			if !dropCommute && !seqeff.Commute(a1.Eff, a2.Eff) {
+				return true
+			}
+			return false
+		}
+	}
+	if a1, ok := seqeff.AnalyzeStack(symsT); ok {
+		if a2, ok := seqeff.AnalyzeStack(symsC); ok {
+			if dropSame && dropCommute {
+				return false
+			}
+			return seqeff.StackPairConflicts(a1, a2)
+		}
+	}
+	return pairConflictsWriteSet(accessModes(seqT), accessModes(seqC), s.Relax)
+}
+
+// fallback applies the plain write-set rule to the pair's logs.
+func (s *Sequence) fallback(seqT, seqC oplog.Log) bool {
+	return pairConflictsWriteSet(accessModes(seqT), accessModes(seqC), s.Relax)
+}

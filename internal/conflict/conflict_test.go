@@ -1,0 +1,279 @@
+package conflict
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/cache"
+	"repro/internal/commute"
+	"repro/internal/oplog"
+	"repro/internal/seqabs"
+	"repro/internal/state"
+)
+
+func baseState() *state.State {
+	st := state.New()
+	st.Set("work", state.Int(0))
+	st.Set("max", state.Int(1))
+	st.Set("ctx", state.Str(""))
+	st.Set("bits", adt.NewRelValue())
+	return st
+}
+
+// record executes ops on a clone of st and returns the log.
+func record(t *testing.T, st *state.State, task int, ops ...oplog.Op) oplog.Log {
+	t.Helper()
+	work := st.Clone()
+	var l oplog.Log
+	for i, op := range ops {
+		acc := op.Accesses(work)
+		v, err := op.Apply(work)
+		if err != nil {
+			t.Fatalf("apply %v: %v", op, err)
+		}
+		l = append(l, &oplog.Event{Op: op, Task: task, Seq: i, Acc: acc, Observed: v})
+	}
+	return l
+}
+
+func TestWriteSetBasic(t *testing.T) {
+	st := baseState()
+	w := NewWriteSet()
+	add := record(t, st, 1, adt.NumAddOp{L: "work", Delta: 1})
+	add2 := record(t, st, 2, adt.NumAddOp{L: "work", Delta: -1})
+	rd := record(t, st, 2, adt.NumLoadOp{L: "work"})
+	other := record(t, st, 2, adt.NumLoadOp{L: "max"})
+
+	if !w.Detect(st, add, []oplog.Log{add2}) {
+		t.Errorf("write-write overlap must conflict under write-set")
+	}
+	if !w.Detect(st, rd, []oplog.Log{add}) {
+		t.Errorf("read-write overlap must conflict")
+	}
+	if w.Detect(st, rd, []oplog.Log{record(t, st, 3, adt.NumLoadOp{L: "work"})}) {
+		t.Errorf("read-read must not conflict")
+	}
+	if w.Detect(st, add, []oplog.Log{other}) {
+		t.Errorf("disjoint locations must not conflict")
+	}
+	if w.Detect(st, add, nil) {
+		t.Errorf("empty history must not conflict (validity)")
+	}
+	if s := w.Stats(); s.Detections != 5 || s.Conflicts != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if w.Name() != "write-set" {
+		t.Errorf("Name = %q", w.Name())
+	}
+}
+
+func TestSequenceHitAvoidsFalseConflict(t *testing.T) {
+	st := baseState()
+	c := cache.New(seqabs.Abstract)
+	idSyms := func(n string) []oplog.Sym {
+		return []oplog.Sym{
+			{Kind: adt.KindNumAdd, Arg: n}, {Kind: adt.KindNumAdd, Arg: "-" + n},
+		}
+	}
+	c.Put(idSyms("1"), idSyms("2"), commute.CondRegister)
+	det := NewSequence(c, nil)
+	id1 := record(t, st, 1, adt.NumAddOp{L: "work", Delta: 5}, adt.NumAddOp{L: "work", Delta: -5})
+	id2 := record(t, st, 2, adt.NumAddOp{L: "work", Delta: 7}, adt.NumAddOp{L: "work", Delta: -7})
+	if det.Detect(st, id1, []oplog.Log{id2}) {
+		t.Fatalf("trained identity pair must not conflict")
+	}
+	if s := det.Stats(); s.PairQueries != 1 || s.Fallbacks != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if det.Name() != "sequence" {
+		t.Errorf("Name = %q", det.Name())
+	}
+}
+
+func TestSequenceMissFallsBackToWriteSet(t *testing.T) {
+	st := baseState()
+	det := NewSequence(cache.New(seqabs.Abstract), nil)
+	id1 := record(t, st, 1, adt.NumAddOp{L: "work", Delta: 5}, adt.NumAddOp{L: "work", Delta: -5})
+	id2 := record(t, st, 2, adt.NumAddOp{L: "work", Delta: 7}, adt.NumAddOp{L: "work", Delta: -7})
+	if !det.Detect(st, id1, []oplog.Log{id2}) {
+		t.Fatalf("empty cache must fall back to write-set and conflict")
+	}
+	if s := det.Stats(); s.Fallbacks != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if det.Cache.Stats().Misses != 1 {
+		t.Errorf("cache stats = %+v", det.Cache.Stats())
+	}
+}
+
+func TestSequenceNilCachePureFallback(t *testing.T) {
+	st := baseState()
+	det := &Sequence{}
+	rd := record(t, st, 1, adt.NumLoadOp{L: "work"})
+	wr := record(t, st, 2, adt.NumStoreOp{L: "work", V: 3})
+	if !det.Detect(st, rd, []oplog.Log{wr}) {
+		t.Fatalf("nil cache must behave like write-set")
+	}
+}
+
+func TestSequenceOnlineMode(t *testing.T) {
+	st := baseState()
+	det := &Sequence{Cache: cache.New(seqabs.Abstract), Online: true}
+	id1 := record(t, st, 1, adt.NumAddOp{L: "work", Delta: 5}, adt.NumAddOp{L: "work", Delta: -5})
+	id2 := record(t, st, 2, adt.NumAddOp{L: "work", Delta: 7}, adt.NumAddOp{L: "work", Delta: -7})
+	if det.Detect(st, id1, []oplog.Log{id2}) {
+		t.Fatalf("online mode must run the concrete check and admit identity pairs")
+	}
+	// Genuinely conflicting pair is still caught online.
+	wr5 := record(t, st, 1, adt.NumStoreOp{L: "work", V: 5})
+	rd := record(t, st, 2, adt.NumLoadOp{L: "work"})
+	if !det.Detect(st, rd, []oplog.Log{wr5}) {
+		t.Fatalf("online mode must detect a read disturbed by a store")
+	}
+}
+
+func TestRelaxationsRAWSpuriousReads(t *testing.T) {
+	// The JGraphT-1 maxColor pattern (Figure 3): one transaction reads,
+	// another writes. RAW relaxation suppresses the conflict.
+	st := baseState()
+	rx := NewRelaxations([]state.Loc{"max"}, nil)
+	det := NewSequence(cache.New(seqabs.Abstract), rx)
+	rd := record(t, st, 1, adt.NumLoadOp{L: "max"})
+	wr := record(t, st, 2, adt.NumStoreOp{L: "max", V: 5})
+	if det.Detect(st, rd, []oplog.Log{wr}) {
+		t.Fatalf("RAW-relaxed read/write must not conflict")
+	}
+	// Write-write on the same location still conflicts (no WAW relax).
+	wr2 := record(t, st, 1, adt.NumStoreOp{L: "max", V: 9})
+	if !det.Detect(st, wr2, []oplog.Log{wr}) {
+		t.Fatalf("stores of different values must still conflict")
+	}
+	if s := det.Stats(); s.RelaxedChecks == 0 {
+		t.Errorf("relaxed path not exercised: %+v", s)
+	}
+}
+
+func TestRelaxationsWAWSharedAsLocal(t *testing.T) {
+	// The PMD pattern (Figure 4): both transactions overwrite then read
+	// their own value. WAW relaxation drops the final COMMUTE check; the
+	// SAMEREAD checks still pass because each read follows its own store.
+	st := baseState()
+	rx := NewRelaxations(nil, []state.Loc{"ctx"})
+	det := NewSequence(cache.New(seqabs.Abstract), rx)
+	a := record(t, st, 1, adt.StrStoreOp{L: "ctx", V: "a.go"}, adt.StrLoadOp{L: "ctx"})
+	b := record(t, st, 2, adt.StrStoreOp{L: "ctx", V: "b.go"}, adt.StrLoadOp{L: "ctx"})
+	if det.Detect(st, a, []oplog.Log{b}) {
+		t.Fatalf("WAW-relaxed shared-as-local must not conflict")
+	}
+	// Without the relaxation it conflicts (different final stores).
+	strict := NewSequence(cache.New(seqabs.Abstract), nil)
+	if !strict.Detect(st, a, []oplog.Log{b}) {
+		t.Fatalf("unrelaxed shared-as-local with different stores must conflict")
+	}
+	// A bare read of the entry value still conflicts: SAMEREAD is kept.
+	spy := record(t, st, 3, adt.StrLoadOp{L: "ctx"})
+	if !det.Detect(st, spy, []oplog.Log{b}) {
+		t.Fatalf("WAW relaxation must not drop SAMEREAD")
+	}
+}
+
+func TestRelaxationsBothOnStack(t *testing.T) {
+	st := state.New()
+	st.Set("stk", state.IntList{})
+	rx := NewRelaxations([]state.Loc{"stk"}, []state.Loc{"stk"})
+	det := NewSequence(cache.New(seqabs.Abstract), rx)
+	push := record(t, st, 1, adt.ListPushOp{L: "stk", V: 1})
+	push2 := record(t, st, 2, adt.ListPushOp{L: "stk", V: 2})
+	if det.Detect(st, push, []oplog.Log{push2}) {
+		t.Fatalf("fully relaxed stack ops must not conflict")
+	}
+}
+
+func TestWildcardFallsBack(t *testing.T) {
+	st := baseState()
+	det := NewSequence(cache.New(seqabs.Abstract), nil)
+	// Build events with a synthetic wildcard read (whole-relation scan)
+	// against a concrete key write.
+	scan := oplog.Log{{
+		Op: adt.RelGetOp{L: "bits", Key: "1"}, Task: 1, Seq: 0,
+		Acc: []oplog.Access{{P: oplog.MakePLoc("bits", "*"), Read: true}},
+	}}
+	put := record(t, st, 2, adt.RelPutOp{L: "bits", Key: "9", Val: "1"})
+	if !det.Detect(st, scan, []oplog.Log{put}) {
+		t.Fatalf("wildcard read vs key write must conflict conservatively")
+	}
+	if s := det.Stats(); s.Fallbacks != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRelaxationAccessors(t *testing.T) {
+	var nilRx *Relaxations
+	if nilRx.TolerateRAW("x") || nilRx.TolerateWAW("x") || nilRx.Any("x") {
+		t.Errorf("nil relaxations must tolerate nothing")
+	}
+	rx := NewRelaxations([]state.Loc{"a"}, []state.Loc{"b"})
+	if !rx.TolerateRAW("a") || rx.TolerateRAW("b") {
+		t.Errorf("RAW accessor wrong")
+	}
+	if !rx.TolerateWAW("b") || rx.TolerateWAW("a") {
+		t.Errorf("WAW accessor wrong")
+	}
+	if !rx.Any("a") || !rx.Any("b") || rx.Any("c") {
+		t.Errorf("Any wrong")
+	}
+}
+
+func TestLearnOnlineConvergesWithoutTraining(t *testing.T) {
+	st := baseState()
+	det := NewSequence(cache.New(seqabs.Abstract), nil)
+	det.LearnOnline = true
+	id1 := record(t, st, 1, adt.NumAddOp{L: "work", Delta: 5}, adt.NumAddOp{L: "work", Delta: -5})
+	id2 := record(t, st, 2, adt.NumAddOp{L: "work", Delta: 7}, adt.NumAddOp{L: "work", Delta: -7})
+	// First query proves and caches the condition immediately: no conflict.
+	if det.Detect(st, id1, []oplog.Log{id2}) {
+		t.Fatalf("online learning must prove the identity pair on first sight")
+	}
+	if det.Cache.Len() == 0 {
+		t.Fatalf("online learning must populate the cache")
+	}
+	// Second query is a plain hit.
+	if det.Detect(st, id1, []oplog.Log{id2}) {
+		t.Fatalf("second query must hit")
+	}
+	if s := det.Cache.Stats(); s.Hits == 0 {
+		t.Fatalf("expected a cache hit after learning: %+v", s)
+	}
+}
+
+func TestInferWAWAdmitsSharedAsLocal(t *testing.T) {
+	st := baseState()
+	det := NewSequence(cache.New(seqabs.Abstract), nil)
+	det.InferWAW = true
+	// Store-then-read pairs with different values: reads are stable
+	// (each follows its own store); the final-value disagreement is
+	// tolerated under commit-order serialization.
+	a := record(t, st, 1, adt.StrStoreOp{L: "ctx", V: "a.go"}, adt.StrLoadOp{L: "ctx"})
+	b := record(t, st, 2, adt.StrStoreOp{L: "ctx", V: "b.go"}, adt.StrLoadOp{L: "ctx"})
+	if det.Detect(st, a, []oplog.Log{b}) {
+		t.Fatalf("InferWAW must admit shared-as-local store/read pairs")
+	}
+	// A stale read is never admitted: SAMEREAD is kept.
+	spy := record(t, st, 3, adt.StrLoadOp{L: "ctx"})
+	if !det.Detect(st, spy, []oplog.Log{b}) {
+		t.Fatalf("InferWAW must keep the read-stability requirement")
+	}
+	// Stack sequences: a balanced pair passes; a prestate-popping one
+	// against a non-identity committed sequence does not.
+	st2 := state.New()
+	st2.Set("stk", state.IntList{5})
+	bal := record(t, st2, 1, adt.ListPushOp{L: "stk", V: 1}, adt.ListPopOp{L: "stk"})
+	grow := record(t, st2, 2, adt.ListPushOp{L: "stk", V: 9})
+	if det.Detect(st2, bal, []oplog.Log{grow}) {
+		t.Fatalf("balanced stack reads are stable under a growing committed txn")
+	}
+	popper := record(t, st2, 3, adt.ListPopOp{L: "stk"})
+	if !det.Detect(st2, popper, []oplog.Log{grow}) {
+		t.Fatalf("a prestate pop must conflict with a growing committed txn")
+	}
+}

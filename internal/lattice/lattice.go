@@ -1,0 +1,236 @@
+// Package lattice implements the subvalue lattice of JANUS §5.1.
+//
+// Values assigned to objects are assumed separable into subvalues ordered by
+// a partial order ⊑ with join ⊔, meet ⊓, and a subtraction operator defined
+// by v − v′ = min{w | w ⊔ v′ = v}. Operation footprints (read, written, and
+// frame subvalues) are elements of this lattice, and a dependency between two
+// operations exists iff their footprints overlap on a common location
+// (Equation 1 in the paper).
+//
+// Two instantiations cover the system:
+//
+//   - Unit: the two-point lattice {⊥, ⊤} used for scalar locations, where an
+//     access either touches the whole value or nothing.
+//   - KeySet: the powerset lattice over tuple/field keys used for relational
+//     (ADT) locations, where an access touches a set of tuple keys.
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sub is an element of a subvalue lattice. Implementations must be
+// immutable: every operation returns a fresh element.
+type Sub interface {
+	// IsBottom reports whether the element is the least element ⊥
+	// (the empty subvalue: no part of the location is touched).
+	IsBottom() bool
+	// Leq reports v ⊑ o. It is the partial order of the lattice.
+	Leq(o Sub) bool
+	// Join returns v ⊔ o, the least upper bound.
+	Join(o Sub) Sub
+	// Meet returns v ⊓ o, the greatest lower bound.
+	Meet(o Sub) Sub
+	// Subtract returns v − o = min{w | w ⊔ o ⊒ v}.
+	Subtract(o Sub) Sub
+	// Overlaps reports v ⊓ o ≠ ⊥, the dependency test of Equation 1.
+	Overlaps(o Sub) bool
+	// String renders the element for traces and tests.
+	String() string
+}
+
+// Unit is the two-point lattice for scalar locations: Bottom (untouched)
+// and Top (the whole value).
+type Unit struct {
+	top bool
+}
+
+// UnitBottom is the ⊥ of the Unit lattice.
+func UnitBottom() Unit { return Unit{top: false} }
+
+// UnitTop is the ⊤ of the Unit lattice: the entire scalar value.
+func UnitTop() Unit { return Unit{top: true} }
+
+// IsBottom implements Sub.
+func (u Unit) IsBottom() bool { return !u.top }
+
+// IsTop reports whether u is the whole value.
+func (u Unit) IsTop() bool { return u.top }
+
+// Leq implements Sub. It panics if o is not a Unit.
+func (u Unit) Leq(o Sub) bool {
+	return !u.top || o.(Unit).top
+}
+
+// Join implements Sub.
+func (u Unit) Join(o Sub) Sub {
+	return Unit{top: u.top || o.(Unit).top}
+}
+
+// Meet implements Sub.
+func (u Unit) Meet(o Sub) Sub {
+	return Unit{top: u.top && o.(Unit).top}
+}
+
+// Subtract implements Sub. In the two-point lattice v − v = ⊥ and v − ⊥ = v.
+func (u Unit) Subtract(o Sub) Sub {
+	if o.(Unit).top {
+		return Unit{top: false}
+	}
+	return u
+}
+
+// Overlaps implements Sub.
+func (u Unit) Overlaps(o Sub) bool {
+	return u.top && o.(Unit).top
+}
+
+// String implements Sub.
+func (u Unit) String() string {
+	if u.top {
+		return "⊤"
+	}
+	return "⊥"
+}
+
+// KeySet is the powerset lattice over string keys, used for relational
+// locations where a footprint is the set of tuple keys (or column names)
+// an operation touches. The zero value is ⊥ (the empty set).
+type KeySet struct {
+	keys map[string]struct{}
+}
+
+// NewKeySet returns the KeySet containing exactly the given keys.
+func NewKeySet(keys ...string) KeySet {
+	m := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		m[k] = struct{}{}
+	}
+	return KeySet{keys: m}
+}
+
+// EmptyKeySet returns the ⊥ of the KeySet lattice.
+func EmptyKeySet() KeySet { return KeySet{} }
+
+// Has reports whether k is in the set.
+func (s KeySet) Has(k string) bool {
+	_, ok := s.keys[k]
+	return ok
+}
+
+// Len returns the number of keys in the set.
+func (s KeySet) Len() int { return len(s.keys) }
+
+// Keys returns the keys in sorted order.
+func (s KeySet) Keys() []string {
+	out := make([]string, 0, len(s.keys))
+	for k := range s.keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsBottom implements Sub.
+func (s KeySet) IsBottom() bool { return len(s.keys) == 0 }
+
+// Leq implements Sub: subset inclusion.
+func (s KeySet) Leq(o Sub) bool {
+	os := o.(KeySet)
+	for k := range s.keys {
+		if !os.Has(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// Join implements Sub: set union.
+func (s KeySet) Join(o Sub) Sub {
+	os := o.(KeySet)
+	m := make(map[string]struct{}, len(s.keys)+len(os.keys))
+	for k := range s.keys {
+		m[k] = struct{}{}
+	}
+	for k := range os.keys {
+		m[k] = struct{}{}
+	}
+	return KeySet{keys: m}
+}
+
+// Meet implements Sub: set intersection.
+func (s KeySet) Meet(o Sub) Sub {
+	os := o.(KeySet)
+	m := make(map[string]struct{})
+	for k := range s.keys {
+		if os.Has(k) {
+			m[k] = struct{}{}
+		}
+	}
+	return KeySet{keys: m}
+}
+
+// Subtract implements Sub: set difference.
+func (s KeySet) Subtract(o Sub) Sub {
+	os := o.(KeySet)
+	m := make(map[string]struct{})
+	for k := range s.keys {
+		if !os.Has(k) {
+			m[k] = struct{}{}
+		}
+	}
+	return KeySet{keys: m}
+}
+
+// Overlaps implements Sub.
+func (s KeySet) Overlaps(o Sub) bool {
+	os := o.(KeySet)
+	// Iterate the smaller set.
+	a, b := s, os
+	if len(b.keys) < len(a.keys) {
+		a, b = b, a
+	}
+	for k := range a.keys {
+		if b.Has(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Sub.
+func (s KeySet) String() string {
+	return fmt.Sprintf("{%s}", strings.Join(s.Keys(), ","))
+}
+
+// Footprint bundles the read and written subvalues of an operation's
+// restriction to one location (op_s^r and op_s^w in §5.1).
+type Footprint struct {
+	Read  Sub
+	Write Sub
+}
+
+// Depends reports whether two footprints on the same location induce a
+// dependency per Equation 1: (w1 ⊔ r1) ⊓ (w2 ⊔ r2) ≠ ⊥ with at least one
+// write involved. Pure read/read overlap is an input dependency, which
+// Equation 1 subsumes; callers that need flow/anti/output dependencies only
+// should use DependsRW.
+func Depends(a, b Footprint) bool {
+	au := a.Write.Join(a.Read)
+	bu := b.Write.Join(b.Read)
+	return au.Overlaps(bu)
+}
+
+// DependsRW reports a dependency where at least one side writes the
+// overlapping subvalue (flow, anti, or output dependency).
+func DependsRW(a, b Footprint) bool {
+	if a.Write.Overlaps(b.Write) {
+		return true
+	}
+	if a.Write.Overlaps(b.Read) {
+		return true
+	}
+	return b.Write.Overlaps(a.Read)
+}

@@ -1,0 +1,178 @@
+package lattice
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnitBasics(t *testing.T) {
+	b, tp := UnitBottom(), UnitTop()
+	if !b.IsBottom() || tp.IsBottom() {
+		t.Fatalf("bottom/top misclassified")
+	}
+	if !b.Leq(tp) || tp.Leq(b) {
+		t.Errorf("order wrong: ⊥⊑⊤ must hold, ⊤⊑⊥ must not")
+	}
+	if !b.Leq(b) || !tp.Leq(tp) {
+		t.Errorf("Leq not reflexive")
+	}
+	if got := tp.Join(b); !got.(Unit).IsTop() {
+		t.Errorf("⊤⊔⊥ = %v, want ⊤", got)
+	}
+	if got := tp.Meet(b); !got.IsBottom() {
+		t.Errorf("⊤⊓⊥ = %v, want ⊥", got)
+	}
+	if got := tp.Subtract(tp); !got.IsBottom() {
+		t.Errorf("⊤−⊤ = %v, want ⊥", got)
+	}
+	if got := tp.Subtract(b); !got.(Unit).IsTop() {
+		t.Errorf("⊤−⊥ = %v, want ⊤", got)
+	}
+	if b.Overlaps(tp) || !tp.Overlaps(tp) {
+		t.Errorf("overlap wrong")
+	}
+}
+
+func TestUnitString(t *testing.T) {
+	if UnitTop().String() != "⊤" || UnitBottom().String() != "⊥" {
+		t.Errorf("unexpected strings %q %q", UnitTop(), UnitBottom())
+	}
+}
+
+func TestKeySetBasics(t *testing.T) {
+	a := NewKeySet("x", "y")
+	b := NewKeySet("y", "z")
+	if got := a.Join(b).(KeySet).Keys(); !reflect.DeepEqual(got, []string{"x", "y", "z"}) {
+		t.Errorf("join = %v", got)
+	}
+	if got := a.Meet(b).(KeySet).Keys(); !reflect.DeepEqual(got, []string{"y"}) {
+		t.Errorf("meet = %v", got)
+	}
+	if got := a.Subtract(b).(KeySet).Keys(); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("subtract = %v", got)
+	}
+	if !a.Overlaps(b) {
+		t.Errorf("a and b share y, should overlap")
+	}
+	if a.Overlaps(NewKeySet("q")) {
+		t.Errorf("disjoint sets should not overlap")
+	}
+	if !EmptyKeySet().IsBottom() || a.IsBottom() {
+		t.Errorf("bottom misclassified")
+	}
+	if !EmptyKeySet().Leq(a) || a.Leq(NewKeySet("x")) {
+		t.Errorf("order wrong")
+	}
+	if a.String() != "{x,y}" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestKeySetHasLen(t *testing.T) {
+	s := NewKeySet("a", "b", "b")
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (duplicates collapse)", s.Len())
+	}
+	if !s.Has("a") || s.Has("c") {
+		t.Errorf("Has wrong")
+	}
+}
+
+// genKeySet builds a small random KeySet for property tests.
+func genKeySet(r *rand.Rand) KeySet {
+	universe := []string{"a", "b", "c", "d", "e"}
+	var ks []string
+	for _, k := range universe {
+		if r.Intn(2) == 0 {
+			ks = append(ks, k)
+		}
+	}
+	return NewKeySet(ks...)
+}
+
+func TestKeySetLatticeLaws(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			for i := range vs {
+				vs[i] = reflect.ValueOf(genKeySet(r))
+			}
+		},
+	}
+	eq := func(a, b Sub) bool {
+		return a.Leq(b) && b.Leq(a)
+	}
+	// Commutativity, associativity, absorption, and the subtraction law
+	// (v − v′) ⊔ v′ ⊒ v.
+	if err := quick.Check(func(a, b, c KeySet) bool {
+		if !eq(a.Join(b), b.Join(a)) || !eq(a.Meet(b), b.Meet(a)) {
+			return false
+		}
+		if !eq(a.Join(b).Join(c), a.Join(b.Join(c))) {
+			return false
+		}
+		if !eq(a.Meet(b).Meet(c), a.Meet(b.Meet(c))) {
+			return false
+		}
+		if !eq(a.Join(a.Meet(b)), a) || !eq(a.Meet(a.Join(b)), a) {
+			return false
+		}
+		return a.Leq(a.Subtract(b).Join(b))
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeySetSubtractMinimality(t *testing.T) {
+	// v − v′ must be the least w with w ⊔ v′ ⊒ v: removing any key from it
+	// breaks coverage.
+	a := NewKeySet("x", "y", "z")
+	b := NewKeySet("y")
+	d := a.Subtract(b).(KeySet)
+	for _, k := range d.Keys() {
+		smaller := d.Subtract(NewKeySet(k))
+		if a.Leq(smaller.Join(b)) {
+			t.Errorf("dropping %q from subtraction still covers a; not minimal", k)
+		}
+	}
+}
+
+func TestDepends(t *testing.T) {
+	w := Footprint{Read: UnitBottom(), Write: UnitTop()}
+	r := Footprint{Read: UnitTop(), Write: UnitBottom()}
+	n := Footprint{Read: UnitBottom(), Write: UnitBottom()}
+	cases := []struct {
+		name    string
+		a, b    Footprint
+		dep, rw bool
+	}{
+		{"write-write", w, w, true, true},
+		{"write-read", w, r, true, true},
+		{"read-write", r, w, true, true},
+		{"read-read", r, r, true, false}, // input dependency: Depends yes, DependsRW no
+		{"none", n, w, false, false},
+		{"none2", r, n, false, false},
+	}
+	for _, c := range cases {
+		if got := Depends(c.a, c.b); got != c.dep {
+			t.Errorf("%s: Depends = %v, want %v", c.name, got, c.dep)
+		}
+		if got := DependsRW(c.a, c.b); got != c.rw {
+			t.Errorf("%s: DependsRW = %v, want %v", c.name, got, c.rw)
+		}
+	}
+}
+
+func TestDependsKeySets(t *testing.T) {
+	a := Footprint{Read: NewKeySet("k1"), Write: NewKeySet("k2")}
+	b := Footprint{Read: NewKeySet("k3"), Write: NewKeySet("k1")}
+	if !DependsRW(a, b) {
+		t.Errorf("b writes k1 which a reads; must depend")
+	}
+	c := Footprint{Read: NewKeySet("k9"), Write: NewKeySet("k8")}
+	if DependsRW(a, c) {
+		t.Errorf("disjoint footprints must not depend")
+	}
+}

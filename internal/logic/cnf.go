@@ -1,0 +1,115 @@
+package logic
+
+// CNF is a formula in conjunctive normal form, ready for internal/sat.
+// Variables are positive integers starting at 1; a literal is +v or -v.
+// AtomVar maps each source atom to its variable; auxiliary Tseitin
+// variables have no atom.
+type CNF struct {
+	NumVars int
+	Clauses [][]int
+	AtomVar map[Atom]int
+}
+
+// tseitin carries state for the transformation.
+type tseitin struct {
+	next    int
+	clauses [][]int
+	atomVar map[Atom]int
+}
+
+func (t *tseitin) fresh() int {
+	t.next++
+	return t.next
+}
+
+func (t *tseitin) varFor(a Atom) int {
+	if v, ok := t.atomVar[a]; ok {
+		return v
+	}
+	v := t.fresh()
+	t.atomVar[a] = v
+	return v
+}
+
+// lit returns a literal whose truth equals the truth of f, emitting
+// defining clauses for composite subformulas.
+func (t *tseitin) lit(f Formula) int {
+	switch g := f.(type) {
+	case constant:
+		// Encode constants with a fresh variable pinned by a unit clause.
+		v := t.fresh()
+		if bool(g) {
+			t.clauses = append(t.clauses, []int{v})
+		} else {
+			t.clauses = append(t.clauses, []int{-v})
+		}
+		return v
+	case Atom:
+		return t.varFor(g)
+	case NotF:
+		return -t.lit(g.F)
+	case AndF:
+		v := t.fresh()
+		lits := make([]int, len(g.Fs))
+		for i, sub := range g.Fs {
+			lits[i] = t.lit(sub)
+		}
+		// v ↔ ∧ lits:  (¬v ∨ l_i) for each i;  (v ∨ ¬l_1 ∨ … ∨ ¬l_n).
+		long := make([]int, 0, len(lits)+1)
+		long = append(long, v)
+		for _, l := range lits {
+			t.clauses = append(t.clauses, []int{-v, l})
+			long = append(long, -l)
+		}
+		t.clauses = append(t.clauses, long)
+		return v
+	case OrF:
+		v := t.fresh()
+		lits := make([]int, len(g.Fs))
+		for i, sub := range g.Fs {
+			lits[i] = t.lit(sub)
+		}
+		// v ↔ ∨ lits:  (v ∨ ¬l_i) for each i;  (¬v ∨ l_1 ∨ … ∨ l_n).
+		long := make([]int, 0, len(lits)+1)
+		long = append(long, -v)
+		for _, l := range lits {
+			t.clauses = append(t.clauses, []int{v, -l})
+			long = append(long, l)
+		}
+		t.clauses = append(t.clauses, long)
+		return v
+	}
+	panic("logic: unknown formula type in tseitin")
+}
+
+// ToCNF converts f into an equisatisfiable CNF via the Tseitin
+// transformation: the result is satisfiable iff f is.
+func ToCNF(f Formula) CNF {
+	t := &tseitin{atomVar: make(map[Atom]int)}
+	root := t.lit(f)
+	t.clauses = append(t.clauses, []int{root})
+	return CNF{NumVars: t.next, Clauses: t.clauses, AtomVar: t.atomVar}
+}
+
+// ColumnExclusivity returns clauses asserting that the atoms in each group
+// are pairwise mutually exclusive. JANUS uses this when a relation column is
+// known to hold one value per tuple key (a functional dependency), so
+// "c=1" and "c=2" cannot hold together; without these constraints the SAT
+// encoding of Table 4 content formulas would admit spurious models.
+func ColumnExclusivity(cnf *CNF, groups [][]Atom) {
+	for _, group := range groups {
+		for i := 0; i < len(group); i++ {
+			vi, ok := cnf.AtomVar[group[i]]
+			if !ok {
+				continue
+			}
+			for j := i + 1; j < len(group); j++ {
+				vj, ok := cnf.AtomVar[group[j]]
+				if !ok {
+					continue
+				}
+				cnf.Clauses = append(cnf.Clauses, []int{-vi, -vj})
+			}
+		}
+	}
+}

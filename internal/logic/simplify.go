@@ -1,0 +1,161 @@
+package logic
+
+// Simplification of Table 1 formulas. The Table 4 update rules build
+// content formulas by chaining conjunctions and disjunctions, so the
+// formulas grow deeply nested with many redundant subterms; simplifying
+// them before the Tseitin transformation shrinks the CNF the solver sees.
+// All rewrites preserve logical equivalence (property-tested against the
+// brute-force evaluator).
+
+import "sort"
+
+// Size counts the formula's AST nodes (atoms, constants, connectives) —
+// used to bound the cost of simplification and CNF generation heuristics.
+func Size(f Formula) int {
+	switch g := f.(type) {
+	case constant, Atom:
+		return 1
+	case NotF:
+		return 1 + Size(g.F)
+	case AndF:
+		n := 1
+		for _, sub := range g.Fs {
+			n += Size(sub)
+		}
+		return n
+	case OrF:
+		n := 1
+		for _, sub := range g.Fs {
+			n += Size(sub)
+		}
+		return n
+	}
+	return 1
+}
+
+// Simplify applies equivalence-preserving rewrites bottom-up:
+// constant folding (already performed by the constructors), idempotence
+// (f ∧ f → f), complement elimination (f ∧ ¬f → false, f ∨ ¬f → true),
+// absorption (f ∧ (f ∨ g) → f, f ∨ (f ∧ g) → f), and per-column atom
+// contradiction (c=v ∧ c=w → false for v ≠ w, under the relational
+// reading that a column holds one value).
+func Simplify(f Formula) Formula {
+	switch g := f.(type) {
+	case constant, Atom:
+		return g
+	case NotF:
+		return Not(Simplify(g.F))
+	case AndF:
+		return simplifyNary(g.Fs, true)
+	case OrF:
+		return simplifyNary(g.Fs, false)
+	}
+	return f
+}
+
+// simplifyNary handles an n-ary conjunction (isAnd) or disjunction.
+func simplifyNary(fs []Formula, isAnd bool) Formula {
+	// Simplify children first; the constructors flatten and fold.
+	kids := make([]Formula, 0, len(fs))
+	for _, sub := range fs {
+		kids = append(kids, Simplify(sub))
+	}
+	var combined Formula
+	if isAnd {
+		combined = And(kids...)
+	} else {
+		combined = Or(kids...)
+	}
+	// The constructor may have collapsed to a constant or single term.
+	var terms []Formula
+	switch c := combined.(type) {
+	case AndF:
+		if !isAnd {
+			return combined
+		}
+		terms = c.Fs
+	case OrF:
+		if isAnd {
+			return combined
+		}
+		terms = c.Fs
+	default:
+		return combined
+	}
+
+	// Dedup by canonical rendering (idempotence).
+	seen := make(map[string]Formula, len(terms))
+	keys := make([]string, 0, len(terms))
+	for _, t := range terms {
+		k := t.String()
+		if _, dup := seen[k]; !dup {
+			seen[k] = t
+			keys = append(keys, k)
+		}
+	}
+	// Complement elimination.
+	for _, k := range keys {
+		t := seen[k]
+		nk := Not(t).String()
+		if _, hasNeg := seen[nk]; hasNeg {
+			if isAnd {
+				return False
+			}
+			return True
+		}
+	}
+	if isAnd {
+		// Per-column contradiction among positive atoms.
+		colVal := map[string]string{}
+		for _, k := range keys {
+			if a, ok := seen[k].(Atom); ok {
+				if prev, dup := colVal[a.Col]; dup && prev != a.Val {
+					return False
+				}
+				colVal[a.Col] = a.Val
+			}
+		}
+	}
+	// Absorption: drop any term that contains another term as an
+	// operand of the dual connective (f ∧ (f ∨ g) → f).
+	kept := make([]Formula, 0, len(keys))
+	for _, k := range keys {
+		t := seen[k]
+		if absorbed(t, seen, isAnd) {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].String() < kept[j].String() })
+	if isAnd {
+		return And(kept...)
+	}
+	return Or(kept...)
+}
+
+// absorbed reports whether term t is implied redundant by a sibling: in a
+// conjunction, a disjunctive term containing a sibling is absorbed; dually
+// for disjunctions.
+func absorbed(t Formula, siblings map[string]Formula, isAnd bool) bool {
+	var inner []Formula
+	if isAnd {
+		o, ok := t.(OrF)
+		if !ok {
+			return false
+		}
+		inner = o.Fs
+	} else {
+		a, ok := t.(AndF)
+		if !ok {
+			return false
+		}
+		inner = a.Fs
+	}
+	for _, sub := range inner {
+		k := sub.String()
+		if sib, ok := siblings[k]; ok && sib.String() != t.String() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,196 @@
+// Package oplog defines the operation model of JANUS: logged operations
+// with read/write footprints, transaction logs, and the DECOMPOSE step of
+// the projection-based conflict-detection algorithm (Figure 8).
+//
+// Every shared-state access a task performs is an Op. Ops are immutable
+// descriptors; applying one mutates a given state and returns the observed
+// value (for reads). A transaction's log replays at commit time against the
+// global state (REPLAYLOGGEDOPERATIONS in Figure 7).
+//
+// Projection locations (PLoc) refine shared locations to the subvalue
+// granularity of §5.1: a scalar location projects to itself, a relational
+// (ADT) location projects to one PLoc per tuple key, so that per-location
+// sequences (§5.3) are sequences of operations on a single key.
+package oplog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/state"
+)
+
+// PLoc is a projection location: either a scalar location "loc", or a
+// relational location refined by tuple key, "loc#key". The distinguished
+// key "*" stands for the relation's full extent (see
+// relation.WholeRelationKey); an access to it overlaps every key of the
+// same location.
+type PLoc string
+
+// MakePLoc builds a PLoc from a location and an optional tuple key.
+func MakePLoc(loc state.Loc, key string) PLoc {
+	if key == "" {
+		return PLoc(loc)
+	}
+	return PLoc(string(loc) + "#" + key)
+}
+
+// Loc returns the underlying shared location.
+func (p PLoc) Loc() state.Loc {
+	if i := strings.IndexByte(string(p), '#'); i >= 0 {
+		return state.Loc(p[:i])
+	}
+	return state.Loc(p)
+}
+
+// Key returns the tuple key, or "" for a scalar location.
+func (p PLoc) Key() string {
+	if i := strings.IndexByte(string(p), '#'); i >= 0 {
+		return string(p[i+1:])
+	}
+	return ""
+}
+
+// IsWildcard reports whether the PLoc denotes a relation's full extent.
+func (p PLoc) IsWildcard() bool { return p.Key() == "*" }
+
+// Overlaps reports whether accesses to p and q can touch a common
+// subvalue: equal PLocs always overlap, and a wildcard PLoc overlaps every
+// PLoc of the same location.
+func (p PLoc) Overlaps(q PLoc) bool {
+	if p == q {
+		return true
+	}
+	if p.Loc() != q.Loc() {
+		return false
+	}
+	return p.IsWildcard() || q.IsWildcard()
+}
+
+// Access records that an operation touches a projection location.
+type Access struct {
+	P     PLoc
+	Read  bool
+	Write bool
+}
+
+// Sym is an operation's symbolic descriptor, the unit of sequence mining
+// and commutativity caching. Kind names the operation (e.g. "num.add",
+// "rel.insert"); Arg is its generalizable argument rendered as a string
+// ("" when the operation takes none).
+type Sym struct {
+	Kind string
+	Arg  string
+}
+
+// String renders the descriptor.
+func (s Sym) String() string {
+	if s.Arg == "" {
+		return s.Kind
+	}
+	return s.Kind + "(" + s.Arg + ")"
+}
+
+// Op is a loggable shared-state operation.
+type Op interface {
+	// Apply executes the operation against st, returning the observed
+	// value for reads (nil for pure effects).
+	Apply(st *state.State) (state.Value, error)
+	// Accesses returns the projection locations the operation touches
+	// when executed in pre-state st, with read/write flags. This is the
+	// only dynamic context conflict detection needs (§5.3: read and
+	// write sets).
+	Accesses(st *state.State) []Access
+	// Sym returns the symbolic descriptor used for sequence matching.
+	Sym() Sym
+	// IsRead reports whether the operation observes a value that flows
+	// into the task (GETREADSUBSEQUENCES of Figure 8 collects these).
+	IsRead() bool
+	fmt.Stringer
+}
+
+// Event is one executed operation in a trace or transaction log.
+type Event struct {
+	Op   Op
+	Task int // transaction/task identifier
+	Seq  int // position in the global trace (training) or log (runtime)
+	// Accesses as computed against the pre-state at execution time.
+	Acc []Access
+	// Observed holds the value returned by a read op at execution time;
+	// nil for effects. Training uses it to validate SAMEREAD concretely.
+	Observed state.Value
+}
+
+// String renders the event for traces.
+func (e *Event) String() string {
+	return fmt.Sprintf("t%d/%d:%s", e.Task, e.Seq, e.Op)
+}
+
+// Log is an ordered sequence of events.
+type Log []*Event
+
+// Replay applies every logged op in order to st. Read operations are
+// harmless no-ops on the state. This is REPLAYLOGGEDOPERATIONS (Figure 7).
+func (l Log) Replay(st *state.State) error {
+	for _, e := range l {
+		if _, err := e.Op.Apply(st); err != nil {
+			return fmt.Errorf("oplog: replaying %s: %w", e, err)
+		}
+	}
+	return nil
+}
+
+// Syms projects the log onto symbolic descriptors.
+func (l Log) Syms() []Sym {
+	out := make([]Sym, len(l))
+	for i, e := range l {
+		out[i] = e.Op.Sym()
+	}
+	return out
+}
+
+// Decompose partitions a history into per-projection-location
+// subsequences, preserving order — the DECOMPOSE operation of Figure 8.
+// An event appears in the subsequence of every PLoc it accesses.
+func Decompose(l Log) map[PLoc]Log {
+	out := make(map[PLoc]Log)
+	for _, e := range l {
+		for _, a := range e.Acc {
+			out[a.P] = append(out[a.P], e)
+		}
+	}
+	return out
+}
+
+// Writes reports whether any event in the log writes p.
+func (l Log) Writes(p PLoc) bool {
+	for _, e := range l {
+		for _, a := range e.Acc {
+			if a.Write && a.P.Overlaps(p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Reads reports whether any event in the log reads p.
+func (l Log) Reads(p PLoc) bool {
+	for _, e := range l {
+		for _, a := range e.Acc {
+			if a.Read && a.P.Overlaps(p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the log compactly.
+func (l Log) String() string {
+	parts := make([]string, len(l))
+	for i, e := range l {
+		parts[i] = e.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,162 @@
+package oplog
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/state"
+)
+
+// fakeOp is a minimal op for log-level tests.
+type fakeOp struct {
+	loc  state.Loc
+	add  int64
+	read bool
+}
+
+func (f fakeOp) Apply(st *state.State) (state.Value, error) {
+	v, _ := st.Get(f.loc)
+	iv, _ := v.(state.Int)
+	if f.read {
+		return iv, nil
+	}
+	st.Set(f.loc, state.Int(int64(iv)+f.add))
+	return nil, nil
+}
+
+func (f fakeOp) Accesses(*state.State) []Access {
+	if f.read {
+		return []Access{{P: PLoc(f.loc), Read: true}}
+	}
+	return []Access{{P: PLoc(f.loc), Read: true, Write: true}}
+}
+
+func (f fakeOp) Sym() Sym {
+	if f.read {
+		return Sym{Kind: "num.load"}
+	}
+	return Sym{Kind: "num.add", Arg: "1"}
+}
+func (f fakeOp) IsRead() bool   { return f.read }
+func (f fakeOp) String() string { return "fake:" + string(f.loc) }
+
+func TestPLocRoundTrip(t *testing.T) {
+	cases := []struct {
+		loc  state.Loc
+		key  string
+		want PLoc
+	}{
+		{"work", "", "work"},
+		{"bits", "k=3", "bits#k=3"},
+		{"bits", "*", "bits#*"},
+	}
+	for _, c := range cases {
+		p := MakePLoc(c.loc, c.key)
+		if p != c.want {
+			t.Errorf("MakePLoc(%q,%q) = %q, want %q", c.loc, c.key, p, c.want)
+		}
+		if p.Loc() != c.loc || p.Key() != c.key {
+			t.Errorf("round trip failed for %q: loc=%q key=%q", p, p.Loc(), p.Key())
+		}
+	}
+	if !PLoc("bits#*").IsWildcard() || PLoc("bits#k=1").IsWildcard() || PLoc("work").IsWildcard() {
+		t.Errorf("IsWildcard wrong")
+	}
+}
+
+func TestPLocOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b PLoc
+		want bool
+	}{
+		{"work", "work", true},
+		{"work", "other", false},
+		{"bits#k=1", "bits#k=1", true},
+		{"bits#k=1", "bits#k=2", false},
+		{"bits#*", "bits#k=2", true},
+		{"bits#k=2", "bits#*", true},
+		{"bits#*", "other#k=2", false},
+		{"work", "bits#k=1", false},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("Overlaps(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func mkEvent(task, seq int, op Op, st *state.State) *Event {
+	return &Event{Op: op, Task: task, Seq: seq, Acc: op.Accesses(st)}
+}
+
+func TestReplay(t *testing.T) {
+	st := state.New()
+	st.Set("x", state.Int(0))
+	add := fakeOp{loc: "x", add: 1}
+	load := fakeOp{loc: "x", read: true}
+	l := Log{mkEvent(1, 0, add, st), mkEvent(1, 1, load, st), mkEvent(1, 2, add, st)}
+	if err := l.Replay(st); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := st.Get("x"); !v.EqualValue(state.Int(2)) {
+		t.Fatalf("x = %v, want 2 (loads are no-ops)", v)
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	st := state.New()
+	st.Set("x", state.Int(0))
+	st.Set("y", state.Int(0))
+	ax := mkEvent(1, 0, fakeOp{loc: "x", add: 1}, st)
+	ay := mkEvent(1, 1, fakeOp{loc: "y", add: 1}, st)
+	ax2 := mkEvent(1, 2, fakeOp{loc: "x", add: 1}, st)
+	m := Decompose(Log{ax, ay, ax2})
+	if len(m) != 2 {
+		t.Fatalf("domains = %d, want 2", len(m))
+	}
+	if got := m["x"]; len(got) != 2 || got[0] != ax || got[1] != ax2 {
+		t.Errorf("x subsequence wrong: %v", got)
+	}
+	if got := m["y"]; len(got) != 1 || got[0] != ay {
+		t.Errorf("y subsequence wrong: %v", got)
+	}
+}
+
+func TestWritesReads(t *testing.T) {
+	st := state.New()
+	st.Set("x", state.Int(0))
+	l := Log{mkEvent(1, 0, fakeOp{loc: "x", add: 1}, st), mkEvent(1, 1, fakeOp{loc: "x", read: true}, st)}
+	if !l.Writes("x") || !l.Reads("x") {
+		t.Errorf("Writes/Reads on x must both hold")
+	}
+	if l.Writes("y") || l.Reads("y") {
+		t.Errorf("no accesses to y")
+	}
+	readOnly := Log{mkEvent(1, 0, fakeOp{loc: "x", read: true}, st)}
+	if readOnly.Writes("x") {
+		t.Errorf("read-only log must not report writes")
+	}
+}
+
+func TestSymsAndStrings(t *testing.T) {
+	st := state.New()
+	st.Set("x", state.Int(0))
+	l := Log{mkEvent(3, 7, fakeOp{loc: "x", add: 1}, st)}
+	syms := l.Syms()
+	want := []Sym{{Kind: "num.add", Arg: "1"}}
+	if !reflect.DeepEqual(syms, want) {
+		t.Errorf("Syms = %v, want %v", syms, want)
+	}
+	if (Sym{Kind: "num.load"}).String() != "num.load" {
+		t.Errorf("argless Sym string wrong")
+	}
+	if (Sym{Kind: "num.add", Arg: "2"}).String() != "num.add(2)" {
+		t.Errorf("Sym string wrong")
+	}
+	if got := l[0].String(); got != "t3/7:fake:x" {
+		t.Errorf("event String = %q", got)
+	}
+	if got := l.String(); got != "[t3/7:fake:x]" {
+		t.Errorf("log String = %q", got)
+	}
+}

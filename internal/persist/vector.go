@@ -1,0 +1,137 @@
+package persist
+
+import "fmt"
+
+// Vector is a fully persistent vector with 32-way branching and path
+// copying (the classic bit-partitioned trie). The zero value is empty.
+// All operations return new versions; no version is ever mutated.
+type Vector[T any] struct {
+	count int
+	shift uint
+	root  []any // nodes are []any (internal) or []T (leaf blocks)
+	tail  []T   // rightmost partially filled block, shared but append-only copied
+}
+
+// NewVector returns the empty vector.
+func NewVector[T any]() *Vector[T] { return &Vector[T]{shift: branchBits} }
+
+// Len returns the number of elements.
+func (v *Vector[T]) Len() int {
+	if v == nil {
+		return 0
+	}
+	return v.count
+}
+
+func (v *Vector[T]) tailOffset() int {
+	if v.count < branchSize {
+		return 0
+	}
+	return ((v.count - 1) >> branchBits) << branchBits
+}
+
+// At returns the element at index i; it panics if out of range.
+func (v *Vector[T]) At(i int) T {
+	if v == nil || i < 0 || i >= v.count {
+		panic(fmt.Sprintf("persist: vector index %d out of range [0,%d)", i, v.Len()))
+	}
+	if i >= v.tailOffset() {
+		return v.tail[i-v.tailOffset()]
+	}
+	node := v.root
+	for level := v.shift; level > 0; level -= branchBits {
+		node = node[(i>>level)&branchMask].([]any)
+	}
+	return node[i&branchMask].(T)
+}
+
+// Append returns a new vector with x added at the end.
+func (v *Vector[T]) Append(x T) *Vector[T] {
+	if v == nil {
+		v = NewVector[T]()
+	}
+	// Room in tail?
+	if v.count-v.tailOffset() < branchSize {
+		tail := make([]T, len(v.tail)+1)
+		copy(tail, v.tail)
+		tail[len(v.tail)] = x
+		return &Vector[T]{count: v.count + 1, shift: v.shift, root: v.root, tail: tail}
+	}
+	// Push tail into the trie.
+	tailNode := make([]any, len(v.tail))
+	for i, e := range v.tail {
+		tailNode[i] = e
+	}
+	newShift := v.shift
+	var newRoot []any
+	if (v.count >> branchBits) > (1 << v.shift) {
+		// Root overflow: add a level.
+		newRoot = []any{v.root, newPath(v.shift, tailNode)}
+		newShift += branchBits
+	} else {
+		newRoot = pushTail(v.shift, v.root, v.count, tailNode)
+	}
+	return &Vector[T]{count: v.count + 1, shift: newShift, root: newRoot, tail: []T{x}}
+}
+
+func newPath(level uint, node []any) []any {
+	if level == 0 {
+		return node
+	}
+	return []any{newPath(level-branchBits, node)}
+}
+
+func pushTail(level uint, parent []any, count int, tailNode []any) []any {
+	idx := ((count - 1) >> level) & branchMask
+	out := make([]any, max(len(parent), idx+1))
+	copy(out, parent)
+	if level == branchBits {
+		out[idx] = tailNode
+	} else {
+		var child []any
+		if idx < len(parent) && parent[idx] != nil {
+			child = parent[idx].([]any)
+		}
+		out[idx] = pushTail(level-branchBits, child, count, tailNode)
+	}
+	return out
+}
+
+// Set returns a new vector with index i replaced by x; it panics if out of
+// range.
+func (v *Vector[T]) Set(i int, x T) *Vector[T] {
+	if v == nil || i < 0 || i >= v.count {
+		panic(fmt.Sprintf("persist: vector index %d out of range [0,%d)", i, v.Len()))
+	}
+	if i >= v.tailOffset() {
+		tail := make([]T, len(v.tail))
+		copy(tail, v.tail)
+		tail[i-v.tailOffset()] = x
+		return &Vector[T]{count: v.count, shift: v.shift, root: v.root, tail: tail}
+	}
+	return &Vector[T]{count: v.count, shift: v.shift, root: setInTrie(v.shift, v.root, i, x), tail: v.tail}
+}
+
+func setInTrie[T any](level uint, node []any, i int, x T) []any {
+	out := make([]any, len(node))
+	copy(out, node)
+	if level == 0 {
+		out[i&branchMask] = x
+		return out
+	}
+	idx := (i >> level) & branchMask
+	out[idx] = setInTrie(level-branchBits, node[idx].([]any), i, x)
+	return out
+}
+
+// Slice returns the elements as a Go slice (a copy).
+func (v *Vector[T]) Slice() []T {
+	out := make([]T, v.Len())
+	for i := range out {
+		out[i] = v.At(i)
+	}
+	return out
+}
+
+// String renders the vector size for debugging.
+func (v *Vector[T]) String() string { return fmt.Sprintf("persist.Vector(len=%d)", v.Len()) }

@@ -1,0 +1,380 @@
+// Package relation implements the relational state representation of JANUS
+// §6.1: tuples, relations with at most one functional dependency, the
+// primitive operations of Table 2 (insert, remove, select), their footprints
+// (Table 3), and the propositional content representation of Table 4 used
+// for SAT-backed equivalence testing.
+//
+// A relation specializes, via its functional dependency, into a function
+// mapping "locations" (valuations of the FD's domain columns) to associated
+// values (valuations of the range columns) — exactly how JANUS encodes ADT
+// states such as a BitSet (index → bit) or a Map (key → value).
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lattice"
+	"repro/internal/logic"
+)
+
+// Tuple maps a set of columns to untyped values (rendered as strings).
+// Tuples are treated as immutable once inserted into a relation.
+type Tuple map[string]string
+
+// Clone returns a copy of t.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	for k, v := range t {
+		c[k] = v
+	}
+	return c
+}
+
+// Cols returns the tuple's columns in sorted order.
+func (t Tuple) Cols() []string {
+	out := make([]string, 0, len(t))
+	for c := range t {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equal reports column-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for c, v := range t {
+		ov, ok := o[c]
+		if !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Key renders the tuple's restriction to the given columns as a canonical
+// string, used as the subvalue-lattice key for footprints.
+func (t Tuple) Key(cols []string) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = c + "=" + t[c]
+	}
+	return strings.Join(parts, ",")
+}
+
+// String renders the full tuple canonically.
+func (t Tuple) String() string { return "(" + t.Key(t.Cols()) + ")" }
+
+// FD is a functional dependency C1 → C2. Per §6.1, each relation has at
+// most one FD, and its domain and range partition the relation's columns.
+type FD struct {
+	Domain []string
+	Range  []string
+}
+
+// Relation is a set of tuples over identical columns, optionally governed
+// by one functional dependency.
+type Relation struct {
+	cols   []string // sorted
+	fd     *FD
+	tuples map[string]Tuple // keyed by full-tuple canonical key
+}
+
+// New creates an empty relation over the given columns. fd may be nil.
+// It panics if the FD's domain and range do not partition the columns,
+// which would violate the §6.1 well-formedness requirement.
+func New(cols []string, fd *FD) *Relation {
+	sorted := append([]string(nil), cols...)
+	sort.Strings(sorted)
+	if fd != nil {
+		all := append(append([]string(nil), fd.Domain...), fd.Range...)
+		sort.Strings(all)
+		if len(all) != len(sorted) {
+			panic("relation: FD domain+range must partition columns")
+		}
+		for i := range all {
+			if all[i] != sorted[i] {
+				panic("relation: FD domain+range must partition columns")
+			}
+		}
+	}
+	return &Relation{cols: sorted, fd: fd, tuples: make(map[string]Tuple)}
+}
+
+// Cols returns the relation's columns (sorted). Callers must not mutate.
+func (r *Relation) Cols() []string { return r.cols }
+
+// FDef returns the relation's functional dependency, or nil.
+func (r *Relation) FDef() *FD { return r.fd }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{cols: r.cols, fd: r.fd, tuples: make(map[string]Tuple, len(r.tuples))}
+	for k, t := range r.tuples {
+		c.tuples[k] = t.Clone()
+	}
+	return c
+}
+
+// Equal reports set equality of tuples (columns and FD must match too).
+func (r *Relation) Equal(o *Relation) bool {
+	if len(r.tuples) != len(o.tuples) {
+		return false
+	}
+	for k := range r.tuples {
+		if _, ok := o.tuples[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Tuples returns the tuples in canonical (sorted-key) order.
+func (r *Relation) Tuples() []Tuple {
+	keys := make([]string, 0, len(r.tuples))
+	for k := range r.tuples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = r.tuples[k]
+	}
+	return out
+}
+
+// Has reports whether the relation contains a tuple equal to t.
+func (r *Relation) Has(t Tuple) bool {
+	_, ok := r.tuples[t.Key(r.cols)]
+	return ok
+}
+
+// matchCols returns the columns on which the matching relation ~r compares
+// tuples: the FD's domain if one is defined, else all common columns.
+func (r *Relation) matchCols() []string {
+	if r.fd != nil {
+		sorted := append([]string(nil), r.fd.Domain...)
+		sort.Strings(sorted)
+		return sorted
+	}
+	return r.cols
+}
+
+// Matching returns the tuples t' in r with t ~r t' (§6.1).
+func (r *Relation) Matching(t Tuple) []Tuple {
+	mc := r.matchCols()
+	key := t.Key(mc)
+	var out []Tuple
+	for _, u := range r.Tuples() {
+		if u.Key(mc) == key {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// LocKey returns the subvalue key of tuple t: its valuation on the matching
+// columns. Footprints and per-location sequences are indexed by this key.
+func (r *Relation) LocKey(t Tuple) string { return t.Key(r.matchCols()) }
+
+// Insert applies "insert r t" of Table 2: first every tuple matching t is
+// removed, then t is added. It returns the removed tuples (for logging and
+// for inverse replay).
+func (r *Relation) Insert(t Tuple) []Tuple {
+	removed := r.Matching(t)
+	for _, u := range removed {
+		delete(r.tuples, u.Key(r.cols))
+	}
+	r.tuples[t.Key(r.cols)] = t.Clone()
+	return removed
+}
+
+// Remove applies "remove r t" of Table 2: ensures t is not in the relation.
+// It reports whether t was present.
+func (r *Relation) Remove(t Tuple) bool {
+	k := t.Key(r.cols)
+	_, ok := r.tuples[k]
+	delete(r.tuples, k)
+	return ok
+}
+
+// Select applies "w := select r f" of Table 2: the sub-relation of tuples
+// satisfying f.
+func (r *Relation) Select(f logic.Formula) *Relation {
+	w := New(r.cols, r.fd)
+	for k, t := range r.tuples {
+		if f.Eval(tupleAssignment(t)) {
+			w.tuples[k] = t
+		}
+	}
+	return w
+}
+
+// tupleAssignment renders the tuple as a truth assignment over
+// column=value atoms, for evaluating Table 1 formulas against it.
+func tupleAssignment(t Tuple) map[logic.Atom]bool {
+	asn := make(map[logic.Atom]bool, len(t))
+	for c, v := range t {
+		asn[logic.Atom{Col: c, Val: v}] = true
+	}
+	return asn
+}
+
+// InsertFootprint returns the Table 3 footprint of "insert r t" in the
+// current state: it writes the subvalue keyed by t's location and reads
+// nothing (the insert overwrites unconditionally).
+func (r *Relation) InsertFootprint(t Tuple) lattice.Footprint {
+	return lattice.Footprint{
+		Read:  lattice.EmptyKeySet(),
+		Write: lattice.NewKeySet(r.LocKey(t)),
+	}
+}
+
+// RemoveFootprint returns the Table 3 footprint of "remove r t". Following
+// §6.2, t belongs in the read set when r does not contain t (the operation
+// observes absence); it is written when present.
+func (r *Relation) RemoveFootprint(t Tuple) lattice.Footprint {
+	key := r.LocKey(t)
+	if r.Has(t) {
+		return lattice.Footprint{Read: lattice.EmptyKeySet(), Write: lattice.NewKeySet(key)}
+	}
+	return lattice.Footprint{Read: lattice.NewKeySet(key), Write: lattice.EmptyKeySet()}
+}
+
+// SelectFootprint returns the Table 3 footprint of "select r f": a read of
+// every location whose tuple the selection inspects. When f pins all the
+// matching columns to constants the read narrows to those keys; otherwise
+// the whole relation is read (each tuple's membership influences the
+// result).
+func (r *Relation) SelectFootprint(f logic.Formula) lattice.Footprint {
+	if keys, ok := pinnedKeys(f, r.matchCols()); ok {
+		return lattice.Footprint{Read: lattice.NewKeySet(keys...), Write: lattice.EmptyKeySet()}
+	}
+	keys := make([]string, 0, len(r.tuples))
+	seen := make(map[string]struct{})
+	for _, t := range r.tuples {
+		k := r.LocKey(t)
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			keys = append(keys, k)
+		}
+	}
+	// Absence of any other key is also observed; represent with a
+	// distinguished whole-relation key joined with the present keys.
+	keys = append(keys, WholeRelationKey)
+	return lattice.Footprint{Read: lattice.NewKeySet(keys...), Write: lattice.EmptyKeySet()}
+}
+
+// WholeRelationKey is the distinguished footprint key standing for the
+// relation's full extent (membership of every location, including absent
+// ones). Unpinned selects read it; it overlaps every write via the
+// ExtentKey convention applied by callers building footprints.
+const WholeRelationKey = "*"
+
+// pinnedKeys reports whether formula f is a disjunction of full matching-
+// column pinnings, returning the corresponding keys. For example, with
+// matching columns {idx}, the formula idx=3 ∨ idx=5 pins keys
+// {"idx=3","idx=5"}.
+func pinnedKeys(f logic.Formula, matchCols []string) ([]string, bool) {
+	disjuncts := orList(f)
+	var keys []string
+	for _, d := range disjuncts {
+		t, ok := conjunctionToTuple(d)
+		if !ok {
+			return nil, false
+		}
+		for _, c := range matchCols {
+			if _, has := t[c]; !has {
+				return nil, false
+			}
+		}
+		keys = append(keys, t.Key(matchCols))
+	}
+	return keys, true
+}
+
+func orList(f logic.Formula) []logic.Formula {
+	if o, ok := f.(logic.OrF); ok {
+		return o.Fs
+	}
+	return []logic.Formula{f}
+}
+
+// conjunctionToTuple interprets a conjunction of atoms as a partial tuple.
+func conjunctionToTuple(f logic.Formula) (Tuple, bool) {
+	var atoms []logic.Atom
+	switch g := f.(type) {
+	case logic.Atom:
+		atoms = []logic.Atom{g}
+	case logic.AndF:
+		for _, sub := range g.Fs {
+			a, ok := sub.(logic.Atom)
+			if !ok {
+				return nil, false
+			}
+			atoms = append(atoms, a)
+		}
+	default:
+		return nil, false
+	}
+	t := make(Tuple, len(atoms))
+	for _, a := range atoms {
+		if prev, dup := t[a.Col]; dup && prev != a.Val {
+			return nil, false
+		}
+		t[a.Col] = a.Val
+	}
+	return t, true
+}
+
+// ContentFormula returns the Table 4 propositional representation of the
+// relation's content: the disjunction over tuples of the conjunction of
+// their column=value atoms. The empty relation is false.
+func (r *Relation) ContentFormula() logic.Formula {
+	var disjuncts []logic.Formula
+	for _, t := range r.Tuples() {
+		var conj []logic.Formula
+		for _, c := range t.Cols() {
+			conj = append(conj, logic.Atom{Col: c, Val: t[c]})
+		}
+		disjuncts = append(disjuncts, logic.And(conj...))
+	}
+	return logic.Or(disjuncts...)
+}
+
+// TupleFormula returns ∧_c c=t_c for tuple t (used in the Table 4 update
+// rules).
+func TupleFormula(t Tuple) logic.Formula {
+	var conj []logic.Formula
+	for _, c := range t.Cols() {
+		conj = append(conj, logic.Atom{Col: c, Val: t[c]})
+	}
+	return logic.And(conj...)
+}
+
+// DomainFormula returns ∧_{c∈dom} c=t_c, the match condition used by the
+// Table 4 insert rule.
+func (r *Relation) DomainFormula(t Tuple) logic.Formula {
+	var conj []logic.Formula
+	for _, c := range r.matchCols() {
+		conj = append(conj, logic.Atom{Col: c, Val: t[c]})
+	}
+	return logic.And(conj...)
+}
+
+// String renders the relation canonically for traces and golden tests.
+func (r *Relation) String() string {
+	ts := r.Tuples()
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return fmt.Sprintf("{%s}", strings.Join(parts, " "))
+}

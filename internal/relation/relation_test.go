@@ -1,0 +1,229 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/logic"
+)
+
+func bitset() *Relation {
+	// The paper's running example: BitSet as a 2-ary relation mapping
+	// integral indices to boolean values, FD idx → val.
+	return New([]string{"idx", "val"}, &FD{Domain: []string{"idx"}, Range: []string{"val"}})
+}
+
+func tup(idx, val string) Tuple { return Tuple{"idx": idx, "val": val} }
+
+func TestNewValidatesFD(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("FD not partitioning columns must panic")
+		}
+	}()
+	New([]string{"a", "b"}, &FD{Domain: []string{"a"}, Range: []string{"c"}})
+}
+
+func TestInsertReplacesMatching(t *testing.T) {
+	r := bitset()
+	r.Insert(tup("3", "0"))
+	removed := r.Insert(tup("3", "1"))
+	if len(removed) != 1 || removed[0]["val"] != "0" {
+		t.Fatalf("insert must evict the matching tuple, removed=%v", removed)
+	}
+	if r.Len() != 1 || !r.Has(tup("3", "1")) || r.Has(tup("3", "0")) {
+		t.Fatalf("state after replace: %v", r)
+	}
+}
+
+func TestInsertNoFDMatchesAllColumns(t *testing.T) {
+	r := New([]string{"a", "b"}, nil)
+	r.Insert(Tuple{"a": "1", "b": "2"})
+	removed := r.Insert(Tuple{"a": "1", "b": "3"})
+	if len(removed) != 0 {
+		t.Fatalf("without FD, tuples differing in any column do not match; removed=%v", removed)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len=%d, want 2", r.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	r := bitset()
+	r.Insert(tup("1", "1"))
+	if !r.Remove(tup("1", "1")) {
+		t.Errorf("remove of present tuple must report true")
+	}
+	if r.Remove(tup("1", "1")) {
+		t.Errorf("remove of absent tuple must report false")
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len=%d, want 0", r.Len())
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := bitset()
+	r.Insert(tup("1", "1"))
+	r.Insert(tup("2", "0"))
+	r.Insert(tup("3", "1"))
+	w := r.Select(logic.Atom{Col: "val", Val: "1"})
+	if w.Len() != 2 || !w.Has(tup("1", "1")) || !w.Has(tup("3", "1")) {
+		t.Fatalf("select val=1 = %v", w)
+	}
+	empty := r.Select(logic.False)
+	if empty.Len() != 0 {
+		t.Fatalf("select false must be empty")
+	}
+	all := r.Select(logic.True)
+	if !all.Equal(r) {
+		t.Fatalf("select true must be identity")
+	}
+}
+
+func TestMatchingAndLocKey(t *testing.T) {
+	r := bitset()
+	r.Insert(tup("7", "1"))
+	m := r.Matching(tup("7", "0"))
+	if len(m) != 1 || m[0]["val"] != "1" {
+		t.Fatalf("Matching = %v", m)
+	}
+	if got := r.LocKey(tup("7", "0")); got != "idx=7" {
+		t.Fatalf("LocKey = %q", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := bitset()
+	r.Insert(tup("1", "1"))
+	c := r.Clone()
+	c.Insert(tup("2", "1"))
+	if r.Len() != 1 {
+		t.Fatalf("mutating clone affected original")
+	}
+	if !r.Equal(r.Clone()) {
+		t.Fatalf("clone must equal original")
+	}
+}
+
+func TestFootprints(t *testing.T) {
+	r := bitset()
+	r.Insert(tup("1", "1"))
+
+	ins := r.InsertFootprint(tup("2", "1"))
+	if !ins.Write.(lattice.KeySet).Has("idx=2") || !ins.Read.IsBottom() {
+		t.Errorf("insert footprint = %+v", ins)
+	}
+
+	remPresent := r.RemoveFootprint(tup("1", "1"))
+	if !remPresent.Write.(lattice.KeySet).Has("idx=1") || !remPresent.Read.IsBottom() {
+		t.Errorf("remove-present footprint = %+v", remPresent)
+	}
+	remAbsent := r.RemoveFootprint(tup("9", "1"))
+	if !remAbsent.Read.(lattice.KeySet).Has("idx=9") || !remAbsent.Write.IsBottom() {
+		t.Errorf("remove-absent footprint must read absence: %+v", remAbsent)
+	}
+
+	pinned := r.SelectFootprint(logic.Atom{Col: "idx", Val: "1"})
+	if got := pinned.Read.(lattice.KeySet).Keys(); !reflect.DeepEqual(got, []string{"idx=1"}) {
+		t.Errorf("pinned select footprint = %v", got)
+	}
+	un := r.SelectFootprint(logic.Atom{Col: "val", Val: "1"})
+	if !un.Read.(lattice.KeySet).Has(WholeRelationKey) {
+		t.Errorf("unpinned select must read the whole-relation key: %v", un.Read)
+	}
+}
+
+func TestPinnedKeysDisjunction(t *testing.T) {
+	r := bitset()
+	f := logic.Or(
+		logic.And(logic.Atom{Col: "idx", Val: "1"}, logic.Atom{Col: "val", Val: "1"}),
+		logic.Atom{Col: "idx", Val: "5"},
+	)
+	fp := r.SelectFootprint(f)
+	got := fp.Read.(lattice.KeySet).Keys()
+	if !reflect.DeepEqual(got, []string{"idx=1", "idx=5"}) {
+		t.Errorf("keys = %v", got)
+	}
+}
+
+func TestContentFormulaMatchesConcrete(t *testing.T) {
+	// Random op sequences: the Table 4 symbolic content must agree with
+	// the concrete relation on every tuple of a small universe.
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		r := bitset()
+		f := r.ContentFormula()
+		for step := 0; step < 10; step++ {
+			idx := strconv.Itoa(rng.Intn(3))
+			val := strconv.Itoa(rng.Intn(2))
+			u := tup(idx, val)
+			if rng.Intn(2) == 0 {
+				f = r.ContentInsert(f, u)
+				r.Insert(u)
+			} else {
+				f = ContentRemove(f, u)
+				r.Remove(u)
+			}
+		}
+		// Check agreement on the full universe.
+		for i := 0; i < 3; i++ {
+			for v := 0; v < 2; v++ {
+				u := tup(strconv.Itoa(i), strconv.Itoa(v))
+				asn := map[logic.Atom]bool{
+					{Col: "idx", Val: u["idx"]}: true,
+					{Col: "val", Val: u["val"]}: true,
+				}
+				if got, want := f.Eval(asn), r.Has(u); got != want {
+					t.Fatalf("iter %d: formula says %v, relation says %v for %v\nf=%v\nr=%v",
+						iter, got, want, u, f, r)
+				}
+			}
+		}
+	}
+}
+
+func TestContentSetOps(t *testing.T) {
+	a := logic.Atom{Col: "x", Val: "1"}
+	b := logic.Atom{Col: "x", Val: "2"}
+	if !logic.EquivalentBrute(ContentUnion(a, b), logic.Or(a, b)) {
+		t.Errorf("union")
+	}
+	if !logic.EquivalentBrute(ContentIntersect(a, b), logic.And(a, b)) {
+		t.Errorf("intersect")
+	}
+	if !logic.EquivalentBrute(ContentSubtract(a, b), logic.And(a, logic.Not(b))) {
+		t.Errorf("subtract")
+	}
+	if !logic.EquivalentBrute(ContentSelect(a, b), logic.And(a, b)) {
+		t.Errorf("select")
+	}
+}
+
+func TestTupleBasics(t *testing.T) {
+	u := tup("1", "0")
+	if !u.Equal(u.Clone()) {
+		t.Errorf("clone must be equal")
+	}
+	if u.Equal(tup("1", "1")) || u.Equal(Tuple{"idx": "1"}) {
+		t.Errorf("inequality cases failed")
+	}
+	if got := u.String(); got != "(idx=1,val=0)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := u.Cols(); !reflect.DeepEqual(got, []string{"idx", "val"}) {
+		t.Errorf("Cols = %v", got)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	r := bitset()
+	r.Insert(tup("2", "1"))
+	r.Insert(tup("1", "0"))
+	if got := r.String(); got != "{(idx=1,val=0) (idx=2,val=1)}" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,79 @@
+package relation
+
+import "fmt"
+
+// Concrete set operations of §6.1: the partial order on relations is
+// subset inclusion, join is set union, meet is set intersection, and
+// subtraction is set subtraction. These mirror the formula-level rules of
+// content.go (ContentUnion/ContentIntersect/ContentSubtract) on concrete
+// relation states; the cross-agreement is property-tested.
+
+// compatible checks that two relations share schema and FD.
+func (r *Relation) compatible(o *Relation) error {
+	if len(r.cols) != len(o.cols) {
+		return fmt.Errorf("relation: schema mismatch: %v vs %v", r.cols, o.cols)
+	}
+	for i := range r.cols {
+		if r.cols[i] != o.cols[i] {
+			return fmt.Errorf("relation: schema mismatch: %v vs %v", r.cols, o.cols)
+		}
+	}
+	return nil
+}
+
+// Leq reports r ⊑ o: every tuple of r is in o (subset inclusion).
+func (r *Relation) Leq(o *Relation) (bool, error) {
+	if err := r.compatible(o); err != nil {
+		return false, err
+	}
+	for k := range r.tuples {
+		if _, ok := o.tuples[k]; !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Union returns r ∪ o as a new relation (the lattice join). The result
+// keeps r's functional dependency; when the union would violate it (two
+// tuples matching on the FD domain with different ranges), the right
+// operand's tuple wins, consistent with applying o's tuples as Table 2
+// inserts.
+func (r *Relation) Union(o *Relation) (*Relation, error) {
+	if err := r.compatible(o); err != nil {
+		return nil, err
+	}
+	out := r.Clone()
+	for _, t := range o.Tuples() {
+		out.Insert(t)
+	}
+	return out, nil
+}
+
+// Intersect returns r ∩ o as a new relation (the lattice meet).
+func (r *Relation) Intersect(o *Relation) (*Relation, error) {
+	if err := r.compatible(o); err != nil {
+		return nil, err
+	}
+	out := New(r.cols, r.fd)
+	for k, t := range r.tuples {
+		if _, ok := o.tuples[k]; ok {
+			out.tuples[k] = t.Clone()
+		}
+	}
+	return out, nil
+}
+
+// Subtract returns r \ o as a new relation (the lattice subtraction).
+func (r *Relation) Subtract(o *Relation) (*Relation, error) {
+	if err := r.compatible(o); err != nil {
+		return nil, err
+	}
+	out := New(r.cols, r.fd)
+	for k, t := range r.tuples {
+		if _, ok := o.tuples[k]; !ok {
+			out.tuples[k] = t.Clone()
+		}
+	}
+	return out, nil
+}

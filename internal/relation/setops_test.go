@@ -1,0 +1,158 @@
+package relation
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// flat builds an FD-free relation over one column from values.
+func flat(vals ...string) *Relation {
+	r := New([]string{"x"}, nil)
+	for _, v := range vals {
+		r.Insert(Tuple{"x": v})
+	}
+	return r
+}
+
+func TestSetOpsBasics(t *testing.T) {
+	a := flat("1", "2", "3")
+	b := flat("2", "3", "4")
+
+	u, err := a.Union(b)
+	if err != nil || u.Len() != 4 {
+		t.Fatalf("union = %v, %v", u, err)
+	}
+	i, err := a.Intersect(b)
+	if err != nil || i.Len() != 2 || !i.Has(Tuple{"x": "2"}) || !i.Has(Tuple{"x": "3"}) {
+		t.Fatalf("intersect = %v, %v", i, err)
+	}
+	s, err := a.Subtract(b)
+	if err != nil || s.Len() != 1 || !s.Has(Tuple{"x": "1"}) {
+		t.Fatalf("subtract = %v, %v", s, err)
+	}
+	le, err := i.Leq(a)
+	if err != nil || !le {
+		t.Fatalf("intersection must be ⊑ a")
+	}
+	le, _ = a.Leq(i)
+	if le {
+		t.Fatalf("a must not be ⊑ its strict subset")
+	}
+}
+
+func TestSetOpsSchemaMismatch(t *testing.T) {
+	a := flat("1")
+	b := New([]string{"y"}, nil)
+	if _, err := a.Union(b); err == nil {
+		t.Errorf("union across schemas must fail")
+	}
+	if _, err := a.Intersect(b); err == nil {
+		t.Errorf("intersect across schemas must fail")
+	}
+	if _, err := a.Subtract(b); err == nil {
+		t.Errorf("subtract across schemas must fail")
+	}
+	if _, err := a.Leq(b); err == nil {
+		t.Errorf("Leq across schemas must fail")
+	}
+}
+
+func TestUnionRespectsFD(t *testing.T) {
+	a := bitset()
+	a.Insert(tup("1", "0"))
+	b := bitset()
+	b.Insert(tup("1", "1")) // same key, different value
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 1 || !u.Has(tup("1", "1")) {
+		t.Fatalf("FD union must keep the right operand's binding: %v", u)
+	}
+}
+
+// TestSetOpsAgreeWithContentFormulas cross-validates the concrete set
+// operations against the Table 4 formula rules on random FD-free
+// relations: for every tuple of the universe, membership in the concrete
+// result equals the formula's verdict.
+func TestSetOpsAgreeWithContentFormulas(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	universe := []string{"0", "1", "2", "3"}
+	randomRel := func() *Relation {
+		r := New([]string{"x"}, nil)
+		for _, v := range universe {
+			if rng.Intn(2) == 0 {
+				r.Insert(Tuple{"x": v})
+			}
+		}
+		return r
+	}
+	member := func(f logic.Formula, v string) bool {
+		return f.Eval(map[logic.Atom]bool{{Col: "x", Val: v}: true})
+	}
+	for iter := 0; iter < 200; iter++ {
+		a, b := randomRel(), randomRel()
+		fa, fb := a.ContentFormula(), b.ContentFormula()
+		type opCase struct {
+			name    string
+			crel    *Relation
+			formula logic.Formula
+		}
+		u, _ := a.Union(b)
+		i, _ := a.Intersect(b)
+		s, _ := a.Subtract(b)
+		cases := []opCase{
+			{"union", u, ContentUnion(fa, fb)},
+			{"intersect", i, ContentIntersect(fa, fb)},
+			{"subtract", s, ContentSubtract(fa, fb)},
+		}
+		for _, c := range cases {
+			for _, v := range universe {
+				want := c.crel.Has(Tuple{"x": v})
+				got := member(c.formula, v)
+				if got != want {
+					t.Fatalf("iter %d %s: membership of %s: formula=%v concrete=%v\na=%v b=%v",
+						iter, c.name, v, got, want, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestSetOpsLatticeLaws checks absorption and the subtraction law on
+// random relations.
+func TestSetOpsLatticeLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	randomRel := func() *Relation {
+		r := New([]string{"x"}, nil)
+		n := rng.Intn(6)
+		for j := 0; j < n; j++ {
+			r.Insert(Tuple{"x": strconv.Itoa(rng.Intn(8))})
+		}
+		return r
+	}
+	for iter := 0; iter < 200; iter++ {
+		a, b := randomRel(), randomRel()
+		u, _ := a.Union(b)
+		i, _ := a.Intersect(b)
+		// Absorption: a ∩ (a ∪ b) = a and a ∪ (a ∩ b) = a.
+		abs1, _ := a.Intersect(u)
+		if !abs1.Equal(a) {
+			t.Fatalf("iter %d: a ∩ (a∪b) ≠ a", iter)
+		}
+		abs2, _ := a.Union(i)
+		if !abs2.Equal(a) {
+			t.Fatalf("iter %d: a ∪ (a∩b) ≠ a", iter)
+		}
+		// Subtraction: (a \ b) ∪ b ⊒ a.
+		d, _ := a.Subtract(b)
+		cover, _ := d.Union(b)
+		le, _ := a.Leq(cover)
+		if !le {
+			t.Fatalf("iter %d: (a\\b) ∪ b does not cover a", iter)
+		}
+	}
+}

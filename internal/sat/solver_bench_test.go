@@ -1,0 +1,79 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// random3SAT builds an instance at the given clause/variable ratio.
+func random3SAT(numVars, numClauses int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	clauses := make([][]int, numClauses)
+	for i := range clauses {
+		cl := make([]int, 3)
+		for j := range cl {
+			v := 1 + rng.Intn(numVars)
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			cl[j] = v
+		}
+		clauses[i] = cl
+	}
+	return clauses
+}
+
+func BenchmarkSolveEasySat(b *testing.B) {
+	cls := random3SAT(60, 150, 1) // under-constrained: satisfiable
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(60, cls, Options{})
+		if err != nil || res.Status != Sat {
+			b.Fatalf("res=%v err=%v", res.Status, err)
+		}
+	}
+}
+
+func BenchmarkSolvePigeonhole(b *testing.B) {
+	// PHP(6,5): a hard UNSAT family for resolution-style search.
+	v := func(i, h int) int { return i*5 + h + 1 }
+	var cls [][]int
+	for i := 0; i < 6; i++ {
+		var c []int
+		for h := 0; h < 5; h++ {
+			c = append(c, v(i, h))
+		}
+		cls = append(cls, c)
+	}
+	for h := 0; h < 5; h++ {
+		for i := 0; i < 6; i++ {
+			for j := i + 1; j < 6; j++ {
+				cls = append(cls, []int{-v(i, h), -v(j, h)})
+			}
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(30, cls, Options{})
+		if err != nil || res.Status != Unsat {
+			b.Fatalf("res=%v err=%v", res.Status, err)
+		}
+	}
+}
+
+func BenchmarkUnitPropagationChain(b *testing.B) {
+	// A long implication chain exercises the watched-literal machinery.
+	const n = 2000
+	cls := make([][]int, 0, n)
+	cls = append(cls, []int{1})
+	for v := 1; v < n; v++ {
+		cls = append(cls, []int{-v, v + 1})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(n, cls, Options{})
+		if err != nil || res.Status != Sat {
+			b.Fatalf("res=%v err=%v", res.Status, err)
+		}
+	}
+}

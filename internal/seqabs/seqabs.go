@@ -1,0 +1,203 @@
+// Package seqabs implements the sequence abstraction of JANUS §5.2:
+// generalizing concrete per-location operation sequences into regular
+// forms by detecting idempotent subsequences and applying the Kleene-cross
+// operator. By Lemma 5.1, the CONFLICT algorithm cannot distinguish a
+// sequence from one that repeats an idempotent subsequence, so
+// { work+=x; work-=x } abstracts to ({ work+=x; work-=x })+ and matches
+// instances of any repetition count.
+//
+// Abstraction here is a canonicalization: both the training-time sequence
+// and the production-time query sequence are abstracted by the same
+// deterministic algorithm, so "matching" reduces to equality of rendered
+// patterns — an O(1) cache lookup, keeping runtime overhead on a par with
+// write-set detection (§5.3).
+//
+// Argument values never appear in patterns; the commutativity conditions
+// stored in the cache re-derive from the concrete arguments at query time
+// (see internal/commute), which is what makes per-iteration rebinding of
+// the symbolic values (x above) sound.
+package seqabs
+
+import (
+	"strings"
+
+	"repro/internal/oplog"
+	"repro/internal/seqeff"
+)
+
+// Elem is one element of an abstract pattern: a block of operation kinds,
+// optionally under the Kleene-cross (one or more repetitions).
+type Elem struct {
+	Kinds []string
+	Plus  bool
+}
+
+// String renders the element.
+func (e Elem) String() string {
+	body := strings.Join(e.Kinds, " ")
+	if e.Plus {
+		return "(" + body + ")+"
+	}
+	return body
+}
+
+// Pattern is the regular abstraction of a sequence.
+type Pattern []Elem
+
+// String renders the pattern canonically; equal strings mean equal
+// patterns, so this rendering is the cache key.
+func (p Pattern) String() string {
+	parts := make([]string, len(p))
+	for i, e := range p {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " · ")
+}
+
+// Mode selects whether abstraction is applied — the experimental knob of
+// Figure 11 (miss rates with and without sequence abstraction).
+type Mode int
+
+// Modes.
+const (
+	// Concrete renders the kind sequence verbatim (no generalization).
+	Concrete Mode = iota
+	// Abstract applies the Kleene-cross canonicalization.
+	Abstract
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	if m == Abstract {
+		return "abstract"
+	}
+	return "concrete"
+}
+
+// Abstracter abstracts sequences under a fixed mode and idempotence
+// predicate. The zero value uses Abstract mode with the seqeff theory.
+type Abstracter struct {
+	Mode Mode
+	// Idem decides idempotence of a concrete block; nil means
+	// seqeff.BlockIdempotent.
+	Idem func([]oplog.Sym) bool
+	// MaxBlock bounds the block length considered for collapsing;
+	// 0 means DefaultMaxBlock.
+	MaxBlock int
+}
+
+// DefaultMaxBlock bounds collapse-candidate block lengths. Dependent
+// per-location sequences in real traces are short; the bound keeps
+// abstraction linear-ish.
+const DefaultMaxBlock = 8
+
+func (a *Abstracter) idem(block []oplog.Sym) bool {
+	if a.Idem != nil {
+		return a.Idem(block)
+	}
+	return seqeff.BlockIdempotent(block)
+}
+
+// Span records which concrete positions a pattern element covers.
+type Span struct {
+	Start, End int // half-open [Start, End)
+	Block      int // block length for Plus elements (0 otherwise)
+}
+
+// Abstract canonicalizes a concrete symbolic sequence into its pattern.
+func (a *Abstracter) Abstract(syms []oplog.Sym) Pattern {
+	p, _ := a.AbstractWithSpans(syms)
+	return p
+}
+
+// AbstractWithSpans additionally reports, per pattern element, the
+// concrete index range it covers — used by trace tooling and by the
+// Lemma 5.1 invariance tests (duplicating one block of a collapsed run
+// must leave the pattern unchanged).
+func (a *Abstracter) AbstractWithSpans(syms []oplog.Sym) (Pattern, []Span) {
+	if a.Mode == Concrete {
+		out := make(Pattern, len(syms))
+		spans := make([]Span, len(syms))
+		for i, s := range syms {
+			out[i] = Elem{Kinds: []string{s.Kind}}
+			spans[i] = Span{Start: i, End: i + 1}
+		}
+		return out, spans
+	}
+	maxBlock := a.MaxBlock
+	if maxBlock == 0 {
+		maxBlock = DefaultMaxBlock
+	}
+	var out Pattern
+	var spans []Span
+	i := 0
+	for i < len(syms) {
+		k, m := a.findCollapse(syms[i:], maxBlock)
+		if k == 0 {
+			out = append(out, Elem{Kinds: []string{syms[i].Kind}})
+			spans = append(spans, Span{Start: i, End: i + 1})
+			i++
+			continue
+		}
+		out = append(out, Elem{Kinds: kinds(syms[i : i+k]), Plus: true})
+		spans = append(spans, Span{Start: i, End: i + k*m, Block: k})
+		i += k * m
+	}
+	return out, spans
+}
+
+// findCollapse searches at the head of rest for the smallest block length
+// k whose block is idempotent, returning k and the number m of consecutive
+// shape-equal idempotent repetitions (m ≥ 1). k = 0 means no idempotent
+// block starts here.
+func (a *Abstracter) findCollapse(rest []oplog.Sym, maxBlock int) (k, m int) {
+	limit := maxBlock
+	if limit > len(rest) {
+		limit = len(rest)
+	}
+	for k = 1; k <= limit; k++ {
+		block := rest[:k]
+		if !a.idem(block) {
+			continue
+		}
+		shape := seqeff.ShapeKey(block)
+		m = 1
+		for {
+			start := m * k
+			if start+k > len(rest) {
+				break
+			}
+			next := rest[start : start+k]
+			if seqeff.ShapeKey(next) != shape || !a.idem(next) {
+				break
+			}
+			m++
+		}
+		return k, m
+	}
+	return 0, 0
+}
+
+func kinds(syms []oplog.Sym) []string {
+	out := make([]string, len(syms))
+	for i, s := range syms {
+		out[i] = s.Kind
+	}
+	return out
+}
+
+// Key abstracts a sequence and renders its cache key in one step.
+func (a *Abstracter) Key(syms []oplog.Sym) string {
+	return a.Abstract(syms).String()
+}
+
+// PairKey renders the canonical unordered cache key for a pair of
+// sequences: commutativity is symmetric, so the two patterns are sorted
+// before joining.
+func (a *Abstracter) PairKey(s1, s2 []oplog.Sym) string {
+	k1, k2 := a.Key(s1), a.Key(s2)
+	if k2 < k1 {
+		k1, k2 = k2, k1
+	}
+	return k1 + " ⇄ " + k2
+}

@@ -1,0 +1,345 @@
+// Package seqeff analyzes the composite effect of per-location operation
+// sequences, generalizing the numeric affine theory (internal/affine) to
+// all the operation kinds of the reproduction: numeric add/store/load,
+// string and boolean stores/loads, per-key relational put/remove/get/has
+// (a relational key behaves as a register whose "absent" value is a
+// distinguished constant), and stack push/pop/size.
+//
+// The theory answers the three questions the hindsight engine asks:
+//
+//   - composite effect of a sequence (COMMUTE, Figure 8);
+//   - stability of each internal read under a concurrent effect
+//     (SAMEREAD, Lemma 5.2);
+//   - idempotence of a subsequence (the Kleene-cross abstraction of §5.2,
+//     Lemma 5.1).
+package seqeff
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/adt"
+	"repro/internal/oplog"
+)
+
+// EffKind classifies a register effect.
+type EffKind int
+
+// Register effect kinds. Ident is the identity function; Add shifts a
+// numeric value; Store pins the value regardless of input.
+const (
+	Ident EffKind = iota
+	Add
+	Store
+)
+
+// Effect is the composite effect of a register sequence: identity, a
+// numeric shift by N, or a store of V.
+type Effect struct {
+	Kind EffKind
+	N    int64  // Add: the shift
+	V    string // Store: the stored value, rendered
+}
+
+// String renders the effect.
+func (e Effect) String() string {
+	switch e.Kind {
+	case Ident:
+		return "id"
+	case Add:
+		return fmt.Sprintf("x+%d", e.N)
+	default:
+		return fmt.Sprintf("≔%s", e.V)
+	}
+}
+
+// IsIdent reports the identity effect.
+func (e Effect) IsIdent() bool { return e.Kind == Ident }
+
+// Then returns the composition g∘e (first e, then g). ok is false when
+// the composition leaves the theory (an Add applied after a non-numeric
+// Store).
+func (e Effect) Then(g Effect) (Effect, bool) {
+	switch g.Kind {
+	case Ident:
+		return e, true
+	case Add:
+		switch e.Kind {
+		case Ident:
+			return normAdd(g.N), true
+		case Add:
+			return normAdd(e.N + g.N), true
+		default: // Store then Add: fold into the stored value if numeric
+			n, err := strconv.ParseInt(e.V, 10, 64)
+			if err != nil {
+				return Effect{}, false
+			}
+			return Effect{Kind: Store, V: strconv.FormatInt(n+g.N, 10)}, true
+		}
+	default: // Store wipes anything before it
+		return g, true
+	}
+}
+
+func normAdd(n int64) Effect {
+	if n == 0 {
+		return Effect{Kind: Ident}
+	}
+	return Effect{Kind: Add, N: n}
+}
+
+// Commute reports whether two effects commute as functions on every input.
+func Commute(a, b Effect) bool {
+	switch {
+	case a.IsIdent() || b.IsIdent():
+		return true
+	case a.Kind == Add && b.Kind == Add:
+		return true
+	case a.Kind == Store && b.Kind == Store:
+		return a.V == b.V
+	default:
+		// Add vs Store: the non-identity add shifts the store's result
+		// in one order only.
+		return false
+	}
+}
+
+// Analysis decomposes a register sequence.
+type Analysis struct {
+	Eff   Effect
+	Reads []Effect // prefix effect immediately before each observing op
+}
+
+// SameRead reports whether every read in a is unaffected by executing a
+// concurrent sequence with composite effect g first.
+func SameRead(a Analysis, g Effect) bool {
+	if g.IsIdent() {
+		return true
+	}
+	for _, prefix := range a.Reads {
+		if prefix.Kind != Store {
+			return false
+		}
+	}
+	return true
+}
+
+// PairConflicts runs the per-location CONFLICT judgment (Figure 8) on two
+// register analyses: conflict unless both SAMEREAD checks and COMMUTE
+// pass.
+func PairConflicts(a, b Analysis) bool {
+	if !SameRead(a, b.Eff) || !SameRead(b, a.Eff) {
+		return true
+	}
+	return !Commute(a.Eff, b.Eff)
+}
+
+// Idempotent reports whether a register sequence is idempotent in the
+// sense of Lemma 5.1: running it twice from any state is indistinguishable
+// from running it once, for both the final state and every internal read.
+// That holds when the composite effect is the identity (the second run
+// starts where the first did), or when it is a store and every read
+// follows the sequence's first store (the second run starts at the stored
+// value, which its reads then observe identically).
+func Idempotent(a Analysis) bool {
+	switch a.Eff.Kind {
+	case Ident:
+		return true
+	case Store:
+		for _, prefix := range a.Reads {
+			if prefix.Kind != Store {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// AnalyzeRegister folds a per-location symbolic sequence into its register
+// analysis. ok is false when the sequence contains stack operations or
+// malformed arguments — callers then try the stack theory or give up.
+func AnalyzeRegister(syms []oplog.Sym) (Analysis, bool) {
+	var a Analysis
+	a.Eff = Effect{Kind: Ident}
+	for _, s := range syms {
+		var step Effect
+		read := false
+		switch s.Kind {
+		case adt.KindNumAdd:
+			n, err := strconv.ParseInt(s.Arg, 10, 64)
+			if err != nil {
+				return Analysis{}, false
+			}
+			step = normAdd(n)
+		case adt.KindNumStore, adt.KindStrStore, adt.KindBoolStore, adt.KindRelPut:
+			step = Effect{Kind: Store, V: s.Arg}
+		case adt.KindRelRemove, adt.KindRelClear:
+			// Per-key semantics: removal stores the distinguished
+			// "absent" value.
+			step = Effect{Kind: Store, V: adt.AbsentVal}
+		case adt.KindNumLoad, adt.KindStrLoad, adt.KindBoolLoad, adt.KindRelGet, adt.KindRelHas:
+			read = true
+		default:
+			return Analysis{}, false
+		}
+		if read {
+			a.Reads = append(a.Reads, a.Eff)
+			continue
+		}
+		eff, ok := a.Eff.Then(step)
+		if !ok {
+			return Analysis{}, false
+		}
+		a.Eff = eff
+	}
+	return a, true
+}
+
+// --- Stack theory ---
+
+// StackAnalysis summarizes a sequence of stack operations relative to the
+// entry stack.
+type StackAnalysis struct {
+	// NetPops counts pops that consumed entry-state elements.
+	NetPops int
+	// Pushes holds the net pushed values remaining above the entry level.
+	Pushes []string
+	// PrestateRead reports whether any pop observed an entry-state value.
+	PrestateRead bool
+	// SizeReads holds the net height delta at each size observation.
+	SizeReads []int
+}
+
+// Balanced reports net identity: the sequence restores the entry stack
+// exactly and never consumed entry-state elements.
+func (s StackAnalysis) Balanced() bool {
+	return s.NetPops == 0 && len(s.Pushes) == 0 && !s.PrestateRead
+}
+
+// AnalyzeStack folds a sequence of stack operations. ok is false for
+// non-stack kinds.
+func AnalyzeStack(syms []oplog.Sym) (StackAnalysis, bool) {
+	var sa StackAnalysis
+	var virt []string // values pushed by the sequence, above entry level
+	depth := 0        // net height delta
+	for _, s := range syms {
+		switch s.Kind {
+		case adt.KindListPush:
+			virt = append(virt, s.Arg)
+			depth++
+		case adt.KindListPop:
+			if len(virt) > 0 {
+				virt = virt[:len(virt)-1]
+			} else {
+				sa.NetPops++
+				sa.PrestateRead = true
+			}
+			depth--
+		case adt.KindListSize:
+			sa.SizeReads = append(sa.SizeReads, depth)
+		default:
+			return StackAnalysis{}, false
+		}
+	}
+	sa.Pushes = append([]string(nil), virt...)
+	return sa, true
+}
+
+// StackReadsStable reports whether every observation in a (pops of own
+// pushes, size reads) is unaffected by running the other sequence first:
+// pops are stable when they never consume entry-state elements, and size
+// reads are stable when the other sequence's net height change is zero.
+func StackReadsStable(a, other StackAnalysis) bool {
+	if a.PrestateRead {
+		// Pops reached the entry stack: the values observed depend on
+		// what the other sequence left there.
+		otherIdentity := other.NetPops == 0 && len(other.Pushes) == 0
+		if !otherIdentity {
+			return false
+		}
+	}
+	if len(a.SizeReads) > 0 {
+		if len(other.Pushes)-other.NetPops != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// StackPairConflicts reports the CONFLICT judgment for two stack
+// sequences. Two balanced (identity) sequences commute and read
+// consistently in either order; anything else is conservatively a
+// conflict. Size observations are stable because the identity concurrent
+// sequence leaves the height unchanged.
+func StackPairConflicts(a, b StackAnalysis) bool {
+	return !(a.Balanced() && b.Balanced())
+}
+
+// IdempotentStack reports Lemma 5.1 idempotence for a stack sequence:
+// balanced sequences restore the entry state, so a second run repeats the
+// first exactly.
+func IdempotentStack(a StackAnalysis) bool { return a.Balanced() }
+
+// --- Theory dispatch ---
+
+// Theory identifies which effect theory covers a sequence.
+type Theory int
+
+// Theories.
+const (
+	TheoryNone Theory = iota
+	TheoryRegister
+	TheoryStack
+)
+
+// String renders the theory.
+func (t Theory) String() string {
+	switch t {
+	case TheoryRegister:
+		return "register"
+	case TheoryStack:
+		return "stack"
+	default:
+		return "none"
+	}
+}
+
+// Classify determines the covering theory of a symbolic sequence.
+func Classify(syms []oplog.Sym) Theory {
+	if _, ok := AnalyzeRegister(syms); ok {
+		return TheoryRegister
+	}
+	if _, ok := AnalyzeStack(syms); ok {
+		return TheoryStack
+	}
+	return TheoryNone
+}
+
+// BlockIdempotent reports whether a concrete symbolic block is idempotent
+// under its covering theory — the predicate driving the Kleene-cross
+// abstraction of §5.2.
+func BlockIdempotent(syms []oplog.Sym) bool {
+	if len(syms) == 0 {
+		return false
+	}
+	if a, ok := AnalyzeRegister(syms); ok {
+		return Idempotent(a)
+	}
+	if sa, ok := AnalyzeStack(syms); ok {
+		return IdempotentStack(sa)
+	}
+	return false
+}
+
+// ShapeKey renders the kind sequence of a block, the shape identity used
+// by abstraction and cache keys.
+func ShapeKey(syms []oplog.Sym) string {
+	kinds := make([]string, len(syms))
+	for i, s := range syms {
+		kinds[i] = s.Kind
+	}
+	return strings.Join(kinds, " ")
+}

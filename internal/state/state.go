@@ -1,0 +1,210 @@
+// Package state models the shared memory JANUS synchronizes: a finite map
+// from locations to values. Values are scalars (integers, strings,
+// booleans) or relational ADT states (internal/relation). Transactions
+// privatize the state at begin (CREATETRANSACTION copies Sh), mutate the
+// private copy, and replay their logs onto the global state at commit.
+package state
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Loc identifies a shared location, e.g. "work" or "monitor.itemsWeight".
+type Loc string
+
+// Value is a shared-memory value. Implementations must support deep
+// cloning (for privatization) and equality (for SAMEREAD/COMMUTE checks).
+type Value interface {
+	CloneValue() Value
+	EqualValue(Value) bool
+	fmt.Stringer
+}
+
+// Int is a 64-bit integer scalar.
+type Int int64
+
+// CloneValue implements Value.
+func (v Int) CloneValue() Value { return v }
+
+// EqualValue implements Value.
+func (v Int) EqualValue(o Value) bool {
+	ov, ok := o.(Int)
+	return ok && ov == v
+}
+
+// String implements Value.
+func (v Int) String() string { return fmt.Sprintf("%d", int64(v)) }
+
+// Str is a string scalar.
+type Str string
+
+// CloneValue implements Value.
+func (v Str) CloneValue() Value { return v }
+
+// EqualValue implements Value.
+func (v Str) EqualValue(o Value) bool {
+	ov, ok := o.(Str)
+	return ok && ov == v
+}
+
+// String implements Value.
+func (v Str) String() string { return string(v) }
+
+// Bool is a boolean scalar.
+type Bool bool
+
+// CloneValue implements Value.
+func (v Bool) CloneValue() Value { return v }
+
+// EqualValue implements Value.
+func (v Bool) EqualValue(o Value) bool {
+	ov, ok := o.(Bool)
+	return ok && ov == v
+}
+
+// String implements Value.
+func (v Bool) String() string { return fmt.Sprintf("%t", bool(v)) }
+
+// Rel wraps a relational ADT state as a Value.
+type Rel struct{ R *relation.Relation }
+
+// CloneValue implements Value.
+func (v Rel) CloneValue() Value { return Rel{R: v.R.Clone()} }
+
+// EqualValue implements Value.
+func (v Rel) EqualValue(o Value) bool {
+	ov, ok := o.(Rel)
+	return ok && v.R.Equal(ov.R)
+}
+
+// String implements Value.
+func (v Rel) String() string { return v.R.String() }
+
+// IntList is an ordered list of integers (the JFileSync monitor stacks).
+type IntList []int64
+
+// CloneValue implements Value.
+func (v IntList) CloneValue() Value { return append(IntList(nil), v...) }
+
+// EqualValue implements Value.
+func (v IntList) EqualValue(o Value) bool {
+	ov, ok := o.(IntList)
+	if !ok || len(ov) != len(v) {
+		return false
+	}
+	for i := range v {
+		if v[i] != ov[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Value.
+func (v IntList) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// State is the shared store: a map from locations to values. A state may
+// be backed by a fault handler (NewFaulting) that lazily materializes
+// locations from an immutable snapshot source — the copy-on-access
+// privatization mode built on the fully persistent store of
+// internal/persist (the paper's §4.1 versioning discussion).
+type State struct {
+	m     map[Loc]Value
+	fault func(Loc) (Value, bool)
+}
+
+// New returns an empty state.
+func New() *State { return &State{m: make(map[Loc]Value)} }
+
+// NewFaulting returns a state that materializes unbound locations on
+// demand from fault, cloning the faulted value so later mutations never
+// reach the source. fault must return immutable snapshot values.
+func NewFaulting(fault func(Loc) (Value, bool)) *State {
+	return &State{m: make(map[Loc]Value), fault: fault}
+}
+
+// Get returns the value at loc and whether it is bound.
+func (s *State) Get(loc Loc) (Value, bool) {
+	v, ok := s.m[loc]
+	if !ok && s.fault != nil {
+		if fv, found := s.fault(loc); found {
+			v = fv.CloneValue()
+			s.m[loc] = v
+			return v, true
+		}
+	}
+	return v, ok
+}
+
+// MustGet returns the value at loc, panicking if unbound — used on paths
+// where the training/runtime invariant guarantees the binding.
+func (s *State) MustGet(loc Loc) Value {
+	v, ok := s.m[loc]
+	if !ok {
+		panic(fmt.Sprintf("state: unbound location %q", loc))
+	}
+	return v
+}
+
+// Set binds loc to v.
+func (s *State) Set(loc Loc, v Value) { s.m[loc] = v }
+
+// Delete unbinds loc.
+func (s *State) Delete(loc Loc) { delete(s.m, loc) }
+
+// Len returns the number of bound locations.
+func (s *State) Len() int { return len(s.m) }
+
+// Locs returns the bound locations in sorted order.
+func (s *State) Locs() []Loc {
+	out := make([]Loc, 0, len(s.m))
+	for l := range s.m {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy (the privatization copy of CREATETRANSACTION).
+// A faulting state's clone shares the (immutable) fault source.
+func (s *State) Clone() *State {
+	c := &State{m: make(map[Loc]Value, len(s.m)), fault: s.fault}
+	for l, v := range s.m {
+		c.m[l] = v.CloneValue()
+	}
+	return c
+}
+
+// Equal reports deep equality of the two states.
+func (s *State) Equal(o *State) bool {
+	if len(s.m) != len(o.m) {
+		return false
+	}
+	for l, v := range s.m {
+		ov, ok := o.m[l]
+		if !ok || !v.EqualValue(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the state canonically for traces and golden tests.
+func (s *State) String() string {
+	locs := s.Locs()
+	parts := make([]string, len(locs))
+	for i, l := range locs {
+		parts[i] = fmt.Sprintf("%s↦%s", l, s.m[l])
+	}
+	return "⟨" + strings.Join(parts, ", ") + "⟩"
+}

@@ -1,0 +1,464 @@
+// Package stm implements the JANUS parallelization protocol of Figure 7:
+// optimistic transactions over privatized shared state, a global version
+// clock, read-write-lock-mediated snapshots and commits, conflict
+// detection against the committed history, log replay at commit, and
+// ordered or unordered commit modes. Theorem 4.1's termination and
+// serializability guarantees hold for any sound and valid detector.
+//
+// Two privatization strategies are provided (§4.1 "Versioning"): naive
+// deep copying of the shared state at transaction begin — what the
+// paper's prototype did — and copy-on-access over a fully persistent map
+// (internal/persist), the improvement the paper proposes.
+package stm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adt"
+	"repro/internal/conflict"
+	"repro/internal/oplog"
+	"repro/internal/persist"
+	"repro/internal/state"
+)
+
+// Privatize selects the state-privatization strategy.
+type Privatize int
+
+// Privatization modes.
+const (
+	// PrivatizeCopy deep-copies the entire shared state at transaction
+	// begin (the paper prototype's "naive fashion").
+	PrivatizeCopy Privatize = iota
+	// PrivatizePersistent snapshots a fully persistent map in O(1) and
+	// faults locations in on first access.
+	PrivatizePersistent
+)
+
+// String renders the mode.
+func (p Privatize) String() string {
+	if p == PrivatizePersistent {
+		return "persistent"
+	}
+	return "copy"
+}
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Threads is the worker count; 0 means GOMAXPROCS.
+	Threads int
+	// Ordered makes commits follow task order (runInOrder vs
+	// runOutOfOrder in the prototype's API).
+	Ordered bool
+	// Detector is the conflict-detection algorithm; nil means write-set.
+	Detector conflict.Detector
+	// Privatize selects the snapshot strategy.
+	Privatize Privatize
+	// MaxRetries aborts the run when one task retries this many times
+	// (a liveness guard for tests; 0 means unlimited, per Theorem 4.1
+	// termination is guaranteed anyway).
+	MaxRetries int
+	// ReclaimLogs drops committed history entries no running transaction
+	// can need (commitTime ≤ min Begin of active transactions). The
+	// paper notes its prototype "doesn't reclaim the logs of garbage
+	// transactions"; this implements that engineering improvement.
+	ReclaimLogs bool
+}
+
+// Stats reports a run's behavior.
+type Stats struct {
+	Tasks     int
+	Commits   int64
+	Retries   int64 // aborted execution attempts
+	Conflicts int64 // conflict detections that failed
+	Reclaimed int64 // history entries reclaimed
+	MaxHist   int64 // peak committed-history length
+}
+
+// RetryRatio returns the Figure 10 metric: retries per transaction.
+func (s Stats) RetryRatio() float64 {
+	if s.Tasks == 0 {
+		return 0
+	}
+	return float64(s.Retries) / float64(s.Tasks)
+}
+
+// histEntry is one committed transaction's contribution to the history.
+type histEntry struct {
+	commitTime int64 // clock value after the commit's increment
+	task       int
+	log        oplog.Log
+}
+
+// Runtime executes one task set. It is single-use.
+type Runtime struct {
+	cfg      Config
+	detector conflict.Detector
+
+	lock  sync.RWMutex // the paper's read-write lock
+	clock atomic.Int64 // Clock, initialized to 1
+
+	// Shared state under PrivatizeCopy.
+	shared *state.State
+	// Shared state version under PrivatizePersistent.
+	version atomic.Pointer[persist.Map[state.Value]]
+
+	histMu  sync.Mutex
+	history []histEntry
+	// begins tracks active transactions' begin times for reclamation.
+	begins map[int]int64
+
+	commitCond *sync.Cond // broadcast on clock advance (ordered waits)
+
+	stats Stats
+
+	errOnce sync.Once
+	err     error
+	done    chan struct{}
+}
+
+// New builds a runtime over a deep copy of the initial state.
+func New(cfg Config, initial *state.State) *Runtime {
+	if cfg.Detector == nil {
+		cfg.Detector = conflict.NewWriteSet()
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = runtime.GOMAXPROCS(0)
+	}
+	r := &Runtime{
+		cfg:      cfg,
+		detector: cfg.Detector,
+		begins:   make(map[int]int64),
+		done:     make(chan struct{}),
+	}
+	r.clock.Store(1)
+	r.commitCond = sync.NewCond(&r.histMu)
+	if cfg.Privatize == PrivatizePersistent {
+		m := persist.NewMap[state.Value]()
+		for _, loc := range initial.Locs() {
+			v, _ := initial.Get(loc)
+			m = m.Set(string(loc), v.CloneValue())
+		}
+		r.version.Store(m)
+	} else {
+		r.shared = initial.Clone()
+	}
+	return r
+}
+
+// Run executes the tasks to completion and returns the final shared state
+// and run statistics. It is DOPARALLEL of Figure 7.
+func Run(cfg Config, initial *state.State, tasks []adt.Task) (*state.State, Stats, error) {
+	r := New(cfg, initial)
+	return r.run(tasks)
+}
+
+// RunSequential executes the tasks one at a time without synchronization,
+// the paper's sequential baseline. The initial state is not mutated.
+func RunSequential(initial *state.State, tasks []adt.Task) (*state.State, error) {
+	st := initial.Clone()
+	ex := &directExec{st: st}
+	for i, t := range tasks {
+		if err := t(ex); err != nil {
+			return nil, fmt.Errorf("stm: sequential task %d: %w", i+1, err)
+		}
+	}
+	return st, nil
+}
+
+// directExec applies ops with no logging or synchronization.
+type directExec struct{ st *state.State }
+
+// Exec implements adt.Executor.
+func (d *directExec) Exec(op oplog.Op) (state.Value, error) { return op.Apply(d.st) }
+
+func (r *Runtime) fail(err error) {
+	r.errOnce.Do(func() {
+		r.err = err
+		close(r.done)
+		// Wake ordered waiters so they observe the failure.
+		r.histMu.Lock()
+		r.commitCond.Broadcast()
+		r.histMu.Unlock()
+	})
+}
+
+func (r *Runtime) failed() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (r *Runtime) run(tasks []adt.Task) (*state.State, Stats, error) {
+	r.stats.Tasks = len(tasks)
+	next := make(chan int, len(tasks))
+	for i := range tasks {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				if r.failed() {
+					return
+				}
+				r.runTask(tasks[idx], idx+1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.err != nil {
+		return nil, r.statsSnapshot(), r.err
+	}
+	return r.finalState(), r.statsSnapshot(), nil
+}
+
+func (r *Runtime) statsSnapshot() Stats {
+	return Stats{
+		Tasks:     r.stats.Tasks,
+		Commits:   atomic.LoadInt64(&r.stats.Commits),
+		Retries:   atomic.LoadInt64(&r.stats.Retries),
+		Conflicts: atomic.LoadInt64(&r.stats.Conflicts),
+		Reclaimed: atomic.LoadInt64(&r.stats.Reclaimed),
+		MaxHist:   atomic.LoadInt64(&r.stats.MaxHist),
+	}
+}
+
+// finalState materializes the committed shared state.
+func (r *Runtime) finalState() *state.State {
+	if r.cfg.Privatize == PrivatizePersistent {
+		out := state.New()
+		r.version.Load().Range(func(k string, v state.Value) bool {
+			out.Set(state.Loc(k), v.CloneValue())
+			return true
+		})
+		return out
+	}
+	return r.shared.Clone()
+}
+
+// runTask is RUNTASK of Figure 7: retry until commit.
+func (r *Runtime) runTask(task adt.Task, tid int) {
+	retries := 0
+	for {
+		if r.failed() {
+			return
+		}
+		ok, err := r.attempt(task, tid)
+		if err != nil {
+			r.fail(fmt.Errorf("stm: task %d: %w", tid, err))
+			return
+		}
+		if ok {
+			atomic.AddInt64(&r.stats.Commits, 1)
+			return
+		}
+		atomic.AddInt64(&r.stats.Retries, 1)
+		retries++
+		if r.cfg.MaxRetries > 0 && retries >= r.cfg.MaxRetries {
+			r.fail(fmt.Errorf("stm: task %d exceeded %d retries", tid, r.cfg.MaxRetries))
+			return
+		}
+	}
+}
+
+// Tx is a running transaction; it implements adt.Executor by applying ops
+// to the privatized state and logging them.
+type Tx struct {
+	tid   int
+	begin int64
+	priv  *state.State // SharedPrivatized
+	snap  *state.State // SharedSnapshot
+	log   oplog.Log
+}
+
+// Exec implements adt.Executor.
+func (t *Tx) Exec(op oplog.Op) (state.Value, error) {
+	acc := op.Accesses(t.priv)
+	v, err := op.Apply(t.priv)
+	if err != nil {
+		return nil, err
+	}
+	t.log = append(t.log, &oplog.Event{
+		Op: op, Task: t.tid, Seq: len(t.log), Acc: acc, Observed: v,
+	})
+	return v, nil
+}
+
+// Log returns the transaction's operation log (for tests and tracing).
+func (t *Tx) Log() oplog.Log { return t.log }
+
+// attempt executes one transaction attempt: CREATETRANSACTION,
+// RUNSEQUENTIAL, ordered wait, then the detect/commit loop.
+func (r *Runtime) attempt(task adt.Task, tid int) (committed bool, err error) {
+	tx := r.createTransaction(tid)
+	defer r.dropBegin(tid)
+
+	if err := task(tx); err != nil {
+		return false, err
+	}
+
+	if r.cfg.Ordered {
+		// Wait until all preceding tasks committed: clock == tid.
+		r.histMu.Lock()
+		for r.clock.Load() != int64(tid) && !r.failed() {
+			r.commitCond.Wait()
+		}
+		r.histMu.Unlock()
+		if r.failed() {
+			return false, nil
+		}
+	}
+
+	for {
+		if r.failed() {
+			return false, nil
+		}
+		now := r.clock.Load()
+		var opsC []oplog.Log
+		r.lock.RLock()
+		opsC = r.committedHistory(tx.begin, now)
+		r.lock.RUnlock()
+		if r.detector.Detect(tx.snap, tx.log, opsC) {
+			atomic.AddInt64(&r.stats.Conflicts, 1)
+			return false, nil // abort; RUNTASK retries from scratch
+		}
+		if r.commit(tx, now) {
+			return true, nil
+		}
+		// History evolved between detection and commit: re-detect.
+	}
+}
+
+// createTransaction is CREATETRANSACTION of Figure 7.
+func (r *Runtime) createTransaction(tid int) *Tx {
+	r.lock.RLock()
+	defer r.lock.RUnlock()
+	begin := r.clock.Load()
+	tx := &Tx{tid: tid, begin: begin}
+	if r.cfg.Privatize == PrivatizePersistent {
+		ver := r.version.Load()
+		fault := func(l state.Loc) (state.Value, bool) {
+			return ver.Get(string(l))
+		}
+		tx.priv = state.NewFaulting(fault)
+		tx.snap = state.NewFaulting(fault)
+	} else {
+		tx.priv = r.shared.Clone()
+		tx.snap = tx.priv.Clone()
+	}
+	r.histMu.Lock()
+	r.begins[tid] = begin
+	r.histMu.Unlock()
+	return tx
+}
+
+func (r *Runtime) dropBegin(tid int) {
+	r.histMu.Lock()
+	delete(r.begins, tid)
+	r.histMu.Unlock()
+}
+
+// committedHistory returns the logs of transactions that committed in
+// (begin, now], one per transaction in commit order — GETCOMMITTEDHISTORY
+// of Figure 7.
+func (r *Runtime) committedHistory(begin, now int64) []oplog.Log {
+	r.histMu.Lock()
+	defer r.histMu.Unlock()
+	var out []oplog.Log
+	for _, h := range r.history {
+		if h.commitTime > begin && h.commitTime <= now {
+			out = append(out, h.log)
+		}
+	}
+	return out
+}
+
+// commit is COMMIT of Figure 7: under the write lock, validate that the
+// history has not evolved since detection, advance the clock, and replay
+// the log onto the shared state.
+func (r *Runtime) commit(tx *Tx, tcheck int64) bool {
+	r.lock.Lock()
+	defer r.lock.Unlock()
+	if r.clock.Load() != tcheck {
+		return false
+	}
+	if r.cfg.Privatize == PrivatizePersistent {
+		if err := r.replayPersistent(tx.log); err != nil {
+			r.fail(err)
+			return false
+		}
+	} else {
+		if err := tx.log.Replay(r.shared); err != nil {
+			r.fail(err)
+			return false
+		}
+	}
+	newClock := r.clock.Add(1)
+	r.histMu.Lock()
+	r.history = append(r.history, histEntry{commitTime: newClock, task: tx.tid, log: tx.log})
+	if n := int64(len(r.history)); n > atomic.LoadInt64(&r.stats.MaxHist) {
+		atomic.StoreInt64(&r.stats.MaxHist, n)
+	}
+	if r.cfg.ReclaimLogs {
+		r.reclaimLocked()
+	}
+	r.commitCond.Broadcast()
+	r.histMu.Unlock()
+	return true
+}
+
+// replayPersistent applies the log to a faulting overlay of the current
+// version and publishes the written locations as a new version.
+func (r *Runtime) replayPersistent(log oplog.Log) error {
+	ver := r.version.Load()
+	tmp := state.NewFaulting(func(l state.Loc) (state.Value, bool) {
+		return ver.Get(string(l))
+	})
+	if err := log.Replay(tmp); err != nil {
+		return err
+	}
+	written := make(map[state.Loc]struct{})
+	for _, e := range log {
+		for _, a := range e.Acc { // footprints recorded at execution time
+			if a.Write {
+				written[a.P.Loc()] = struct{}{}
+			}
+		}
+	}
+	for loc := range written {
+		if v, ok := tmp.Get(loc); ok {
+			ver = ver.Set(string(loc), v.CloneValue())
+		}
+	}
+	r.version.Store(ver)
+	return nil
+}
+
+// reclaimLocked drops history entries every active transaction has already
+// seen (commitTime ≤ min active begin). Caller holds histMu.
+func (r *Runtime) reclaimLocked() {
+	minBegin := r.clock.Load()
+	for _, b := range r.begins {
+		if b < minBegin {
+			minBegin = b
+		}
+	}
+	kept := r.history[:0]
+	for _, h := range r.history {
+		if h.commitTime > minBegin {
+			kept = append(kept, h)
+		} else {
+			atomic.AddInt64(&r.stats.Reclaimed, 1)
+		}
+	}
+	r.history = kept
+}

@@ -1,0 +1,333 @@
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/conflict"
+	"repro/internal/oplog"
+	"repro/internal/seqabs"
+	"repro/internal/state"
+	"repro/internal/train"
+)
+
+func initialState() *state.State {
+	st := state.New()
+	st.Set("work", state.Int(0))
+	st.Set("log", state.IntList{})
+	st.Set("canvas", adt.NewRelValue())
+	return st
+}
+
+func addTask(n int64) adt.Task {
+	return func(ex adt.Executor) error {
+		return adt.Counter{L: "work"}.Add(ex, n)
+	}
+}
+
+func identityTask(n int64) adt.Task {
+	return func(ex adt.Executor) error {
+		c := adt.Counter{L: "work"}
+		if err := c.Add(ex, n); err != nil {
+			return err
+		}
+		return c.Sub(ex, n)
+	}
+}
+
+// appendTask pushes its id: non-commutative, order-observable.
+func appendTask(id int64) adt.Task {
+	return func(ex adt.Executor) error {
+		return adt.Stack{L: "log"}.Push(ex, id)
+	}
+}
+
+func TestRunSequentialBaseline(t *testing.T) {
+	st := initialState()
+	final, err := RunSequential(st, []adt.Task{addTask(2), addTask(3), addTask(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := final.Get("work"); !v.EqualValue(state.Int(10)) {
+		t.Fatalf("work = %v, want 10", v)
+	}
+	if v, _ := st.Get("work"); !v.EqualValue(state.Int(0)) {
+		t.Fatalf("initial state mutated")
+	}
+}
+
+func TestParallelMatchesSequentialCommutative(t *testing.T) {
+	tasks := []adt.Task{addTask(1), addTask(2), addTask(3), addTask(4), addTask(5)}
+	want, err := RunSequential(initialState(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 2, 4, 8} {
+		for _, priv := range []Privatize{PrivatizeCopy, PrivatizePersistent} {
+			got, stats, err := Run(Config{Threads: threads, Privatize: priv}, initialState(), tasks)
+			if err != nil {
+				t.Fatalf("threads=%d priv=%v: %v", threads, priv, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("threads=%d priv=%v: state %s != sequential %s", threads, priv, got, want)
+			}
+			if stats.Commits != 5 {
+				t.Fatalf("commits = %d, want 5", stats.Commits)
+			}
+		}
+	}
+}
+
+func TestOrderedMatchesSequentialOrder(t *testing.T) {
+	tasks := []adt.Task{appendTask(1), appendTask(2), appendTask(3), appendTask(4)}
+	want, err := RunSequential(initialState(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, priv := range []Privatize{PrivatizeCopy, PrivatizePersistent} {
+		got, _, err := Run(Config{Threads: 4, Ordered: true, Privatize: priv}, initialState(), tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("priv=%v: ordered run %s != sequential %s", priv, got, want)
+		}
+	}
+}
+
+func TestUnorderedIsSomeSerialOrder(t *testing.T) {
+	tasks := []adt.Task{appendTask(1), appendTask(2), appendTask(3)}
+	perms := [][]int64{
+		{1, 2, 3}, {1, 3, 2}, {2, 1, 3}, {2, 3, 1}, {3, 1, 2}, {3, 2, 1},
+	}
+	for trial := 0; trial < 10; trial++ {
+		got, _, err := Run(Config{Threads: 3}, initialState(), tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := got.Get("log")
+		lst := v.(state.IntList)
+		matched := false
+		for _, p := range perms {
+			if len(lst) == 3 && lst[0] == p[0] && lst[1] == p[1] && lst[2] == p[2] {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Fatalf("final log %v is not a permutation-serial outcome", lst)
+		}
+	}
+}
+
+func TestSingleThreadNoRetries(t *testing.T) {
+	tasks := []adt.Task{addTask(1), addTask(2), addTask(3)}
+	_, stats, err := Run(Config{Threads: 1}, initialState(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Retries != 0 {
+		t.Fatalf("single-threaded run retried %d times", stats.Retries)
+	}
+	if stats.RetryRatio() != 0 {
+		t.Fatalf("retry ratio = %v", stats.RetryRatio())
+	}
+}
+
+func TestTaskErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	bad := func(adt.Executor) error { return boom }
+	_, _, err := Run(Config{Threads: 2}, initialState(), []adt.Task{addTask(1), bad})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestOrderedErrorDoesNotDeadlock(t *testing.T) {
+	boom := errors.New("boom")
+	// Task 1 fails: tasks 2..4 wait for clock==tid and must be released.
+	bad := func(adt.Executor) error { return boom }
+	_, _, err := Run(Config{Threads: 4, Ordered: true}, initialState(),
+		[]adt.Task{bad, addTask(1), addTask(2), addTask(3)})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestSequenceDetectorEnablesIdentityParallelism(t *testing.T) {
+	var tasks []adt.Task
+	for i := 1; i <= 12; i++ {
+		tasks = append(tasks, identityTask(int64(i)))
+	}
+	c, _, err := train.Train(initialState(), tasks[:3], train.Options{Mode: seqabs.Abstract})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := conflict.NewSequence(c, nil)
+	final, stats, err := Run(Config{Threads: 4, Detector: det}, initialState(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := final.Get("work"); !v.EqualValue(state.Int(0)) {
+		t.Fatalf("work = %v, want 0", v)
+	}
+	if stats.Retries != 0 {
+		t.Fatalf("identity tasks under sequence detection must not retry, got %d", stats.Retries)
+	}
+	if s := det.Stats(); s.Detections == 0 {
+		t.Fatalf("detector never consulted")
+	}
+}
+
+func TestWriteSetSerializesConflictingCommits(t *testing.T) {
+	// Equal-writes canvas tasks: write-set detection flags them, sequence
+	// detection (trained) does not.
+	draw := func(color string) adt.Task {
+		return func(ex adt.Executor) error {
+			return adt.Canvas{L: "canvas"}.DrawPixel(ex, 0, 0, color)
+		}
+	}
+	var tasks []adt.Task
+	for i := 0; i < 8; i++ {
+		tasks = append(tasks, draw("white"))
+	}
+	c, _, err := train.Train(initialState(), tasks[:2], train.Options{Mode: seqabs.Abstract})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqFinal, seqStats, err := Run(Config{Threads: 4, Detector: conflict.NewSequence(c, nil)}, initialState(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqStats.Retries != 0 {
+		t.Fatalf("equal writes must not retry under sequence detection, got %d", seqStats.Retries)
+	}
+	wsFinal, _, err := Run(Config{Threads: 4, Detector: conflict.NewWriteSet()}, initialState(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seqFinal.Equal(wsFinal) {
+		t.Fatalf("final states differ: %s vs %s", seqFinal, wsFinal)
+	}
+}
+
+func TestMaxRetriesGuard(t *testing.T) {
+	// A detector that always reports conflicts forces retries; with
+	// a concurrent committer the victim aborts until the guard fires.
+	always := &alwaysConflict{}
+	_, _, err := Run(Config{Threads: 2, Detector: always, MaxRetries: 3}, initialState(),
+		[]adt.Task{addTask(1), addTask(2)})
+	if err == nil || !strings.Contains(err.Error(), "retries") {
+		t.Fatalf("err = %v, want retry-guard failure", err)
+	}
+}
+
+// alwaysConflict violates the validity requirement of Theorem 4.1 by
+// conflicting unconditionally; the MaxRetries guard must catch the
+// resulting livelock.
+type alwaysConflict struct{}
+
+func (a *alwaysConflict) Detect(_ *state.State, _ oplog.Log, _ []oplog.Log) bool {
+	return true
+}
+
+func (a *alwaysConflict) Name() string { return "always-conflict" }
+
+func TestReclaimLogs(t *testing.T) {
+	var tasks []adt.Task
+	for i := 1; i <= 30; i++ {
+		tasks = append(tasks, addTask(int64(i)))
+	}
+	_, noReclaim, err := Run(Config{Threads: 1}, initialState(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, reclaim, err := Run(Config{Threads: 1, ReclaimLogs: true}, initialState(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noReclaim.MaxHist != 30 {
+		t.Fatalf("without reclamation MaxHist = %d, want 30", noReclaim.MaxHist)
+	}
+	if reclaim.MaxHist >= noReclaim.MaxHist {
+		t.Fatalf("reclamation did not bound history: %d vs %d", reclaim.MaxHist, noReclaim.MaxHist)
+	}
+	if reclaim.Reclaimed == 0 {
+		t.Fatalf("nothing reclaimed")
+	}
+}
+
+func TestPrivatizeString(t *testing.T) {
+	if PrivatizeCopy.String() != "copy" || PrivatizePersistent.String() != "persistent" {
+		t.Errorf("privatize strings wrong")
+	}
+}
+
+func TestStatsRetryRatio(t *testing.T) {
+	s := Stats{Tasks: 4, Retries: 6}
+	if s.RetryRatio() != 1.5 {
+		t.Errorf("RetryRatio = %v", s.RetryRatio())
+	}
+	if (Stats{}).RetryRatio() != 0 {
+		t.Errorf("empty ratio must be 0")
+	}
+}
+
+func TestManyTasksStress(t *testing.T) {
+	var tasks []adt.Task
+	var wantSum int64
+	for i := 1; i <= 200; i++ {
+		tasks = append(tasks, addTask(int64(i%7)))
+		wantSum += int64(i % 7)
+	}
+	final, stats, err := Run(Config{Threads: 8}, initialState(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := final.Get("work"); !v.EqualValue(state.Int(wantSum)) {
+		t.Fatalf("work = %v, want %d (commits=%d retries=%d)", v, wantSum, stats.Commits, stats.Retries)
+	}
+	if stats.Commits != 200 {
+		t.Fatalf("commits = %d", stats.Commits)
+	}
+	_ = fmt.Sprintf("%v", stats)
+}
+
+// explodingOp succeeds against the private state but fails when replayed
+// onto the global state (its Apply errors on the second application).
+type explodingOp struct{ fired *int32 }
+
+func (e explodingOp) Apply(st *state.State) (state.Value, error) {
+	if atomic.AddInt32(e.fired, 1) > 1 {
+		return nil, errors.New("replay exploded")
+	}
+	st.Set("boom", state.Int(1))
+	return nil, nil
+}
+
+func (e explodingOp) Accesses(*state.State) []oplog.Access {
+	return []oplog.Access{{P: "boom", Write: true}}
+}
+func (e explodingOp) Sym() oplog.Sym { return oplog.Sym{Kind: "num.store", Arg: "1"} }
+func (e explodingOp) IsRead() bool   { return false }
+func (e explodingOp) String() string { return "exploding" }
+
+// TestReplayFailureSurfaces injects an op that fails during commit replay;
+// the runtime must surface the error instead of wedging.
+func TestReplayFailureSurfaces(t *testing.T) {
+	st := state.New()
+	st.Set("boom", state.Int(0))
+	var fired int32
+	task := func(ex adt.Executor) error {
+		_, err := ex.Exec(explodingOp{fired: &fired})
+		return err
+	}
+	_, _, err := Run(Config{Threads: 1}, st, []adt.Task{task})
+	if err == nil || !strings.Contains(err.Error(), "replay exploded") {
+		t.Fatalf("err = %v, want replay failure", err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package symrel performs the symbolic equivalence judgments of JANUS §6.2:
+// given two propositional representations f and φ of a relation's content
+// (produced by the Table 4 update rules), it asks the SAT solver for a
+// satisfying assignment of ¬(f ↔ φ). If none exists the representations are
+// confirmed equivalent.
+//
+// Assignments range over candidate tuples, so for each column at most one
+// column=value atom may hold; these exclusivity constraints are added as
+// clauses before solving (without them the encoding admits spurious
+// distinguishing "tuples" that assign two values to one column).
+package symrel
+
+import (
+	"errors"
+
+	"repro/internal/logic"
+	"repro/internal/sat"
+)
+
+// DefaultBudget bounds the SAT search per equivalence query. Queries that
+// exceed it report ErrUnknown; JANUS treats that as a failed proof (a cache
+// miss), never as a positive answer, so the budget cannot cause
+// unsoundness.
+const DefaultBudget = 200000
+
+// ErrUnknown is returned when the solver cannot decide the query within
+// its budget.
+var ErrUnknown = errors.New("symrel: equivalence undecided within budget")
+
+// Checker runs equivalence queries. The zero value uses DefaultBudget.
+type Checker struct {
+	// Budget bounds solver decisions per query; 0 means DefaultBudget.
+	Budget int64
+	// Stats counts queries by outcome.
+	Stats Stats
+}
+
+// Stats tallies the checker's query outcomes.
+type Stats struct {
+	Queries    int
+	Equivalent int
+	Distinct   int
+	Unknown    int
+}
+
+// Equivalent decides whether f and g describe the same relation content.
+// The error is non-nil only for ErrUnknown.
+func (c *Checker) Equivalent(f, g logic.Formula) (bool, error) {
+	c.Stats.Queries++
+	// Simplify the content formulas first: the Table 4 chains carry
+	// heavy redundancy, and the rewrites (including per-column
+	// contradiction) agree with the exclusivity constraints added below.
+	// Simplification is itself super-linear, so very large formulas go
+	// straight to the solver.
+	const simplifyBudget = 1500
+	if logic.Size(f) <= simplifyBudget {
+		f = logic.Simplify(f)
+	}
+	if logic.Size(g) <= simplifyBudget {
+		g = logic.Simplify(g)
+	}
+	query := logic.Not(logic.Iff(f, g))
+	// Fast paths: structural equality and constant results.
+	if query == logic.False {
+		c.Stats.Equivalent++
+		return true, nil
+	}
+	if query == logic.True {
+		c.Stats.Distinct++
+		return false, nil
+	}
+	cnf := logic.ToCNF(query)
+	logic.ColumnExclusivity(&cnf, columnGroups(query))
+	budget := c.Budget
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+	res, err := sat.Solve(cnf.NumVars, cnf.Clauses, sat.Options{MaxDecisions: budget})
+	switch {
+	case err != nil || res.Status == sat.Unknown:
+		c.Stats.Unknown++
+		return false, ErrUnknown
+	case res.Status == sat.Unsat:
+		c.Stats.Equivalent++
+		return true, nil
+	default:
+		c.Stats.Distinct++
+		return false, nil
+	}
+}
+
+// columnGroups partitions the formula's atoms by column, yielding the
+// mutual-exclusivity groups.
+func columnGroups(f logic.Formula) [][]logic.Atom {
+	atoms := logic.Atoms(f)
+	byCol := make(map[string][]logic.Atom)
+	var order []string
+	for _, a := range atoms {
+		if _, ok := byCol[a.Col]; !ok {
+			order = append(order, a.Col)
+		}
+		byCol[a.Col] = append(byCol[a.Col], a)
+	}
+	groups := make([][]logic.Atom, 0, len(order))
+	for _, col := range order {
+		if g := byCol[col]; len(g) > 1 {
+			groups = append(groups, g)
+		}
+	}
+	return groups
+}

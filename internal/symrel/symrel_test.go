@@ -1,0 +1,166 @@
+package symrel
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+func bitset() *relation.Relation {
+	return relation.New([]string{"idx", "val"},
+		&relation.FD{Domain: []string{"idx"}, Range: []string{"val"}})
+}
+
+func tup(i, v string) relation.Tuple { return relation.Tuple{"idx": i, "val": v} }
+
+func TestTrivialEquivalences(t *testing.T) {
+	var c Checker
+	a := logic.Atom{Col: "x", Val: "1"}
+	cases := []struct {
+		f, g logic.Formula
+		want bool
+	}{
+		{logic.True, logic.True, true},
+		{logic.True, logic.False, false},
+		{a, a, true},
+		{a, logic.Not(logic.Not(a)), true},
+		{logic.And(a, logic.True), a, true},
+		{a, logic.Or(a, a), true},
+		{a, logic.Not(a), false},
+	}
+	for i, cse := range cases {
+		got, err := c.Equivalent(cse.f, cse.g)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != cse.want {
+			t.Errorf("case %d: Equivalent(%v, %v) = %v, want %v", i, cse.f, cse.g, got, cse.want)
+		}
+	}
+	if c.Stats.Queries != len(cases) {
+		t.Errorf("Queries = %d, want %d", c.Stats.Queries, len(cases))
+	}
+}
+
+func TestColumnExclusivityApplied(t *testing.T) {
+	var c Checker
+	// Without exclusivity, idx=1 ∧ idx=2 is satisfiable, so
+	// (idx=1 ∧ idx=2) ≢ false. With it, both are unsatisfiable — equal.
+	f := logic.And(logic.Atom{Col: "idx", Val: "1"}, logic.Atom{Col: "idx", Val: "2"})
+	eq, err := c.Equivalent(f, logic.False)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("idx=1 ∧ idx=2 must be equivalent to false under column exclusivity")
+	}
+}
+
+// TestInsertOrderIndependence mirrors the paper's core use: two different
+// operation orders on a BitSet yield content formulas that differ
+// syntactically but must be confirmed equivalent.
+func TestInsertOrderIndependence(t *testing.T) {
+	var c Checker
+	r1, r2 := bitset(), bitset()
+	f1, f2 := r1.ContentFormula(), r2.ContentFormula()
+
+	// Order A: set(1), set(2). Order B: set(2), set(1).
+	f1 = r1.ContentInsert(f1, tup("1", "1"))
+	r1.Insert(tup("1", "1"))
+	f1 = r1.ContentInsert(f1, tup("2", "1"))
+	r1.Insert(tup("2", "1"))
+
+	f2 = r2.ContentInsert(f2, tup("2", "1"))
+	r2.Insert(tup("2", "1"))
+	f2 = r2.ContentInsert(f2, tup("1", "1"))
+	r2.Insert(tup("1", "1"))
+
+	eq, err := c.Equivalent(f1, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("set(1);set(2) and set(2);set(1) must be equivalent\nf1=%v\nf2=%v", f1, f2)
+	}
+}
+
+func TestConflictingWritesDistinct(t *testing.T) {
+	var c Checker
+	r1, r2 := bitset(), bitset()
+	f1 := r1.ContentInsert(r1.ContentFormula(), tup("1", "0"))
+	f2 := r2.ContentInsert(r2.ContentFormula(), tup("1", "1"))
+	eq, err := c.Equivalent(f1, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatalf("set(1,0) and set(1,1) must be distinct")
+	}
+}
+
+// TestRandomSequencesAgainstConcrete cross-validates the SAT judgment
+// against concrete relation equality over a bounded universe: if the SAT
+// checker says equivalent, the concrete relations must be equal, and vice
+// versa (the universe of the random ops covers all mentioned atoms).
+func TestRandomSequencesAgainstConcrete(t *testing.T) {
+	var c Checker
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 120; iter++ {
+		rA, rB := bitset(), bitset()
+		fA, fB := rA.ContentFormula(), rB.ContentFormula()
+		for step := 0; step < 6; step++ {
+			i, v := strconv.Itoa(rng.Intn(3)), strconv.Itoa(rng.Intn(2))
+			u := tup(i, v)
+			if rng.Intn(2) == 0 {
+				fA = rA.ContentInsert(fA, u)
+				rA.Insert(u)
+			} else {
+				fA = relation.ContentRemove(fA, u)
+				rA.Remove(u)
+			}
+			i, v = strconv.Itoa(rng.Intn(3)), strconv.Itoa(rng.Intn(2))
+			u = tup(i, v)
+			if rng.Intn(2) == 0 {
+				fB = rB.ContentInsert(fB, u)
+				rB.Insert(u)
+			} else {
+				fB = relation.ContentRemove(fB, u)
+				rB.Remove(u)
+			}
+		}
+		eq, err := c.Equivalent(fA, fB)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if want := rA.Equal(rB); eq != want {
+			t.Fatalf("iter %d: SAT says equivalent=%v, concrete equality=%v\nfA=%v\nfB=%v\nrA=%v\nrB=%v",
+				iter, eq, want, fA, fB, rA, rB)
+		}
+	}
+	if c.Stats.Equivalent+c.Stats.Distinct != c.Stats.Queries {
+		t.Errorf("stats inconsistent: %+v", c.Stats)
+	}
+}
+
+func TestBudgetYieldsUnknown(t *testing.T) {
+	c := Checker{Budget: 1}
+	// Build a formula pair needing some search: XOR chain.
+	var f logic.Formula = logic.Atom{Col: "c0", Val: "1"}
+	var g logic.Formula = logic.Atom{Col: "c0", Val: "1"}
+	for i := 1; i < 14; i++ {
+		a := logic.Atom{Col: "c" + strconv.Itoa(i), Val: "1"}
+		f = logic.Xor(f, a)
+		b := logic.Atom{Col: "c" + strconv.Itoa(14-i), Val: "1"}
+		g = logic.Xor(g, b)
+	}
+	_, err := c.Equivalent(f, g)
+	if err != ErrUnknown {
+		t.Skipf("budget not reached on this instance (err=%v); solver too fast — acceptable", err)
+	}
+	if c.Stats.Unknown != 1 {
+		t.Errorf("Unknown stat = %d, want 1", c.Stats.Unknown)
+	}
+}

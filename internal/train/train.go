@@ -1,0 +1,332 @@
+// Package train implements the offline training phase of JANUS (§5.1 and
+// Figure 6): the application is exercised sequentially on training inputs
+// with no synchronization, dependencies are tracked over the trace,
+// per-location dependent sequences are mined at task boundaries, symbolic
+// commutativity conditions are proved for pairs of sequences, verified —
+// concretely against the Figure 8 checks and, for relational pairs, with
+// the SAT-backed Table 4 content-formula equivalence — and cached under
+// their §5.2 regular abstractions.
+package train
+
+import (
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/cache"
+	"repro/internal/commute"
+	"repro/internal/deps"
+	"repro/internal/logic"
+	"repro/internal/oplog"
+	"repro/internal/relation"
+	"repro/internal/seqabs"
+	"repro/internal/state"
+	"repro/internal/symrel"
+)
+
+// Profiler executes tasks sequentially against a live state, recording the
+// training trace with task identities and footprints.
+type Profiler struct {
+	st    *state.State
+	trace oplog.Log
+	task  int
+}
+
+// NewProfiler profiles against st (mutated in place).
+func NewProfiler(st *state.State) *Profiler { return &Profiler{st: st} }
+
+// AddLocalWork implements adt.CostSink: training only needs the trace,
+// so the tasks' local computation is skipped.
+func (p *Profiler) AddLocalWork(int64) {}
+
+// Exec implements adt.Executor.
+func (p *Profiler) Exec(op oplog.Op) (state.Value, error) {
+	acc := op.Accesses(p.st)
+	v, err := op.Apply(p.st)
+	if err != nil {
+		return nil, err
+	}
+	p.trace = append(p.trace, &oplog.Event{
+		Op: op, Task: p.task, Seq: len(p.trace), Acc: acc, Observed: v,
+	})
+	return v, nil
+}
+
+// Run executes the tasks one at a time (single-threaded, no
+// synchronization), numbering them from 1.
+func (p *Profiler) Run(tasks []adt.Task) error {
+	for i, t := range tasks {
+		p.task = i + 1
+		if err := t(p); err != nil {
+			return fmt.Errorf("train: task %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// Trace returns the recorded trace.
+func (p *Profiler) Trace() oplog.Log { return p.trace }
+
+// Options configure training.
+type Options struct {
+	// Mode selects the cache key abstraction (Figure 11 knob).
+	Mode seqabs.Mode
+	// SkipVerify disables the verification passes (concrete Figure 8
+	// validation and SAT content-formula checks). Verification is on by
+	// default; training is offline, so its cost is acceptable.
+	SkipVerify bool
+	// MaxPairsPerLoc bounds the quadratic pair enumeration per location;
+	// 0 means DefaultMaxPairsPerLoc.
+	MaxPairsPerLoc int
+}
+
+// DefaultMaxPairsPerLoc bounds pair enumeration per location. Dedup by
+// shape key happens first, so the bound only guards pathological traces.
+const DefaultMaxPairsPerLoc = 4096
+
+// Report summarizes a training run.
+type Report struct {
+	TracedOps       int
+	PLocs           int
+	SharedPLocs     int
+	PairsConsidered int
+	UniquePairs     int
+	Cached          map[commute.ConditionKind]int
+	Rejected        int // pairs no theory covers
+	VerifyDropped   int // proved pairs dropped by verification
+	SATChecks       int
+	SATFailures     int
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"trace=%d ops, plocs=%d (%d shared), pairs=%d (%d unique), cached={always:%d register:%d stack:%d}, rejected=%d, verify-dropped=%d, sat=%d/%d",
+		r.TracedOps, r.PLocs, r.SharedPLocs, r.PairsConsidered, r.UniquePairs,
+		r.Cached[commute.CondAlways], r.Cached[commute.CondRegister], r.Cached[commute.CondStackIdentity],
+		r.Rejected, r.VerifyDropped, r.SATFailures, r.SATChecks,
+	)
+}
+
+// Train profiles one sequential run of tasks from the given initial state
+// (cloned; the caller's state is not mutated) and builds the
+// commutativity cache.
+func Train(initial *state.State, tasks []adt.Task, opts Options) (*cache.Cache, *Report, error) {
+	st := initial.Clone()
+	p := NewProfiler(st)
+	if err := p.Run(tasks); err != nil {
+		return nil, nil, err
+	}
+	c := cache.New(opts.Mode)
+	rep, err := Learn(c, initial, p.Trace(), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, rep, nil
+}
+
+// TrainMany runs Train over several payloads (the paper uses 5 training
+// runs) and merges the caches.
+func TrainMany(initial *state.State, payloads [][]adt.Task, opts Options) (*cache.Cache, []*Report, error) {
+	c := cache.New(opts.Mode)
+	var reps []*Report
+	for i, tasks := range payloads {
+		ci, rep, err := Train(initial, tasks, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("train: payload %d: %w", i, err)
+		}
+		c.Merge(ci)
+		reps = append(reps, rep)
+	}
+	return c, reps, nil
+}
+
+// Learn mines a recorded trace and populates the cache. initial is the
+// state the trace started from (used to type synthetic verification
+// states).
+func Learn(c *cache.Cache, initial *state.State, trace oplog.Log, opts Options) (*Report, error) {
+	rep := &Report{
+		TracedOps: len(trace),
+		Cached:    make(map[commute.ConditionKind]int),
+	}
+	mined := deps.Mine(trace)
+	rep.PLocs = len(mined)
+	shared := deps.SharedPLocs(mined)
+	rep.SharedPLocs = len(shared)
+	maxPairs := opts.MaxPairsPerLoc
+	if maxPairs == 0 {
+		maxPairs = DefaultMaxPairsPerLoc
+	}
+	seen := make(map[string]struct{})
+	for _, p := range shared {
+		seqs := mined[p]
+		pairs := 0
+		for i := 0; i < len(seqs) && pairs < maxPairs; i++ {
+			for j := i + 1; j < len(seqs) && pairs < maxPairs; j++ {
+				if seqs[i].Task == seqs[j].Task {
+					continue
+				}
+				pairs++
+				rep.PairsConsidered++
+				s1, s2 := seqs[i].Syms(), seqs[j].Syms()
+				key := c.Key(s1, s2)
+				if _, dup := seen[key]; dup {
+					continue
+				}
+				seen[key] = struct{}{}
+				rep.UniquePairs++
+				kind := commute.Prove(s1, s2)
+				if kind == commute.CondNone {
+					rep.Rejected++
+					continue
+				}
+				if !opts.SkipVerify {
+					ok, err := verifyPair(rep, initial, p, seqs[i].Events, seqs[j].Events, kind)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						rep.VerifyDropped++
+						continue
+					}
+				}
+				c.Put(s1, s2, kind)
+				rep.Cached[kind]++
+			}
+		}
+	}
+	return rep, nil
+}
+
+// verifyPair cross-checks the proved condition kind against the concrete
+// Figure 8 judgment on synthetic entry states, and against the SAT-backed
+// content-formula equivalence for relational pairs. A proved "no conflict"
+// that any verifier contradicts drops the entry (soundness guard); a
+// proved "conflict" needs no verification (conservative answers are always
+// sound).
+func verifyPair(rep *Report, initial *state.State, p oplog.PLoc, e1, e2 oplog.Log, kind commute.ConditionKind) (bool, error) {
+	conflict, ok := commute.Evaluate(kind, e1.Syms(), e2.Syms())
+	if !ok {
+		return false, nil
+	}
+	if conflict {
+		return true, nil
+	}
+	for _, entry := range syntheticStates(initial, p) {
+		concrete, err := commute.ConflictConcrete(entry, p, e1, e2)
+		if err != nil {
+			// Synthetic state does not support the ops (e.g. pop from an
+			// empty stack): skip this sample rather than reject.
+			continue
+		}
+		if concrete {
+			return false, nil
+		}
+	}
+	if relationalOnly(e1) && relationalOnly(e2) {
+		agree, err := satVerify(rep, initial, p, e1, e2)
+		if err != nil || !agree {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// syntheticStates builds small entry states exercising the pair's
+// location: the training initial value plus type-derived variants.
+func syntheticStates(initial *state.State, p oplog.PLoc) []*state.State {
+	loc := p.Loc()
+	v, bound := initial.Get(loc)
+	if !bound {
+		return nil
+	}
+	var variants []state.Value
+	switch tv := v.(type) {
+	case state.Int:
+		variants = []state.Value{tv, state.Int(0), state.Int(41)}
+	case state.Str:
+		variants = []state.Value{tv, state.Str(""), state.Str("⟂probe")}
+	case state.Bool:
+		variants = []state.Value{tv, state.Bool(!bool(tv))}
+	case state.IntList:
+		variants = []state.Value{tv, state.IntList{}, state.IntList{11, 22}}
+	case state.Rel:
+		empty := adt.NewRelValue()
+		boundKey := adt.NewRelValue()
+		if key := p.Key(); key != "" && key != "*" {
+			// Key is rendered "k=<raw>"; recover the raw key.
+			raw := key
+			if len(raw) > 2 && raw[:2] == adt.DomainCol+"=" {
+				raw = raw[2:]
+			}
+			boundKey.R.Insert(relation.Tuple{adt.DomainCol: raw, adt.RangeCol: "⟂probe"})
+		}
+		variants = []state.Value{tv, empty, boundKey}
+	default:
+		variants = []state.Value{tv}
+	}
+	out := make([]*state.State, 0, len(variants))
+	for _, variant := range variants {
+		st := state.New()
+		st.Set(loc, variant.CloneValue())
+		out = append(out, st)
+	}
+	return out
+}
+
+func relationalOnly(l oplog.Log) bool {
+	for _, e := range l {
+		switch e.Op.(type) {
+		case adt.RelPutOp, adt.RelRemoveOp, adt.RelGetOp, adt.RelHasOp, adt.RelClearOp:
+		default:
+			return false
+		}
+	}
+	return len(l) > 0
+}
+
+// satVerify checks, with the Table 4 content formulas and the SAT solver,
+// that the two execution orders produce equivalent relation contents from
+// a synthetic entry relation — the §6.2 equivalence query.
+func satVerify(rep *Report, initial *state.State, p oplog.PLoc, e1, e2 oplog.Log) (bool, error) {
+	loc := p.Loc()
+	v, bound := initial.Get(loc)
+	if !bound {
+		return true, nil
+	}
+	rv, isRel := v.(state.Rel)
+	if !isRel {
+		return true, nil
+	}
+	rep.SATChecks++
+	r := rv.R.Clone()
+	f0 := r.ContentFormula()
+	fAB := contentAfter(r, contentAfter(r, f0, e1), e2)
+	fBA := contentAfter(r, contentAfter(r, f0, e2), e1)
+	var checker symrel.Checker
+	eq, err := checker.Equivalent(fAB, fBA)
+	if err != nil {
+		// Budget exhausted: treat as a failed proof, drop the entry.
+		rep.SATFailures++
+		return false, nil
+	}
+	if !eq {
+		rep.SATFailures++
+	}
+	return eq, nil
+}
+
+// contentAfter folds a relational event sequence over a content formula
+// using the Table 4 update rules. Reads leave the formula unchanged.
+func contentAfter(r *relation.Relation, f logic.Formula, l oplog.Log) logic.Formula {
+	for _, e := range l {
+		switch op := e.Op.(type) {
+		case adt.RelPutOp:
+			f = r.ContentInsert(f, relation.Tuple{adt.DomainCol: op.Key, adt.RangeCol: op.Val})
+		case adt.RelRemoveOp:
+			f = r.ContentRemoveMatching(f, relation.Tuple{adt.DomainCol: op.Key, adt.RangeCol: ""})
+		case adt.RelClearOp:
+			f = logic.False
+		}
+	}
+	return f
+}

@@ -1,0 +1,321 @@
+package train
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/cache"
+	"repro/internal/commute"
+	"repro/internal/seqabs"
+	"repro/internal/state"
+)
+
+func initialState() *state.State {
+	st := state.New()
+	st.Set("work", state.Int(0))
+	st.Set("monitor", state.IntList{})
+	st.Set("canvas", adt.NewRelValue())
+	st.Set("max", state.Int(1))
+	return st
+}
+
+// identityTask mirrors Figure 1: accumulate into work, then restore.
+func identityTask(w int64) adt.Task {
+	return func(ex adt.Executor) error {
+		c := adt.Counter{L: "work"}
+		if err := c.Add(ex, w); err != nil {
+			return err
+		}
+		return c.Sub(ex, w)
+	}
+}
+
+// stackTask mirrors Figure 2's monitor: balanced push/pop.
+func stackTask(w int64) adt.Task {
+	return func(ex adt.Executor) error {
+		s := adt.Stack{L: "monitor"}
+		if err := s.Push(ex, w); err != nil {
+			return err
+		}
+		_, err := s.Pop(ex)
+		return err
+	}
+}
+
+// drawTask mirrors Figure 5: all tasks draw the same color on a shared
+// pixel.
+func drawTask(color string) adt.Task {
+	return func(ex adt.Executor) error {
+		return adt.Canvas{L: "canvas"}.DrawPixel(ex, 1, 1, color)
+	}
+}
+
+func TestProfilerRecordsTasks(t *testing.T) {
+	st := initialState()
+	p := NewProfiler(st)
+	if err := p.Run([]adt.Task{identityTask(2), identityTask(3)}); err != nil {
+		t.Fatal(err)
+	}
+	tr := p.Trace()
+	if len(tr) != 4 {
+		t.Fatalf("trace = %d ops, want 4", len(tr))
+	}
+	if tr[0].Task != 1 || tr[2].Task != 2 {
+		t.Errorf("task ids wrong: %v %v", tr[0].Task, tr[2].Task)
+	}
+	if v, _ := st.Get("work"); !v.EqualValue(state.Int(0)) {
+		t.Errorf("work after identity tasks = %v, want 0", v)
+	}
+	if tr[0].Seq != 0 || tr[3].Seq != 3 {
+		t.Errorf("sequence numbers wrong")
+	}
+}
+
+func TestTrainIdentityPattern(t *testing.T) {
+	c, rep, err := Train(initialState(), []adt.Task{identityTask(2), identityTask(5)}, Options{Mode: seqabs.Abstract})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cached[commute.CondAlways]+rep.Cached[commute.CondRegister] == 0 {
+		t.Fatalf("identity pair must cache a condition; report: %s", rep)
+	}
+	// A production query with a different repetition count must hit and
+	// report no conflict.
+	pLong := NewProfiler(initialState())
+	if err := pLong.Run([]adt.Task{func(ex adt.Executor) error {
+		if err := identityTask(7)(ex); err != nil {
+			return err
+		}
+		return identityTask(9)(ex)
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	pShort := NewProfiler(initialState())
+	if err := pShort.Run([]adt.Task{identityTask(3)}); err != nil {
+		t.Fatal(err)
+	}
+	conflict, hit := c.Lookup(pLong.Trace().Syms(), pShort.Trace().Syms())
+	if !hit || conflict {
+		t.Fatalf("Lookup(long identity, short identity) = conflict=%v hit=%v", conflict, hit)
+	}
+	st := c.Stats()
+	if st.Lookups != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTrainStackPattern(t *testing.T) {
+	c, rep, err := Train(initialState(), []adt.Task{stackTask(4), stackTask(6)}, Options{Mode: seqabs.Abstract})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cached[commute.CondStackIdentity] == 0 {
+		t.Fatalf("stack pair must cache a stack-identity condition; report: %s", rep)
+	}
+	if c.Len() == 0 {
+		t.Fatal("cache empty")
+	}
+}
+
+func TestTrainEqualWritesVerifiedBySAT(t *testing.T) {
+	c, rep, err := Train(initialState(), []adt.Task{drawTask("white"), drawTask("white")}, Options{Mode: seqabs.Abstract})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cached[commute.CondRegister] == 0 {
+		t.Fatalf("equal-writes pair must cache; report: %s", rep)
+	}
+	if rep.SATChecks == 0 {
+		t.Fatalf("relational pair must be SAT-verified; report: %s", rep)
+	}
+	if rep.SATFailures != 0 {
+		t.Fatalf("SAT verification failed: %s", rep)
+	}
+	_ = c
+}
+
+func TestTrainDifferentWritesStillCachesRegisterCondition(t *testing.T) {
+	// put(white) vs put(black): the register condition is cached (the
+	// shape is decidable), and evaluating it on the conflicting instance
+	// reports a conflict.
+	c, _, err := Train(initialState(), []adt.Task{drawTask("white"), drawTask("black")}, Options{Mode: seqabs.Abstract})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stA := initialState()
+	pA := NewProfiler(stA)
+	if err := drawTask("red")(pA); err != nil {
+		t.Fatal(err)
+	}
+	stB := initialState()
+	pB := NewProfiler(stB)
+	if err := drawTask("blue")(pB); err != nil {
+		t.Fatal(err)
+	}
+	conflict, hit := c.Lookup(pA.Trace().Syms(), pB.Trace().Syms())
+	if !hit {
+		t.Fatalf("equal shape must hit")
+	}
+	if !conflict {
+		t.Fatalf("different colors must conflict")
+	}
+	conflict, hit = c.Lookup(pA.Trace().Syms(), pA.Trace().Syms())
+	if !hit || conflict {
+		t.Fatalf("same color must not conflict: conflict=%v hit=%v", conflict, hit)
+	}
+}
+
+func TestConcreteModeMissesOnLengthChange(t *testing.T) {
+	c, _, err := Train(initialState(), []adt.Task{identityTask(2), identityTask(5)}, Options{Mode: seqabs.Concrete})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query with four ops (two identity pairs in one transaction).
+	st := initialState()
+	p := NewProfiler(st)
+	double := func(ex adt.Executor) error {
+		if err := identityTask(7)(ex); err != nil {
+			return err
+		}
+		return identityTask(9)(ex)
+	}
+	if err := double(p); err != nil {
+		t.Fatal(err)
+	}
+	stShort := initialState()
+	pShort := NewProfiler(stShort)
+	if err := identityTask(3)(pShort); err != nil {
+		t.Fatal(err)
+	}
+	_, hit := c.Lookup(p.Trace().Syms(), pShort.Trace().Syms())
+	if hit {
+		t.Fatalf("concrete mode must miss on a length change")
+	}
+	abstract, _, err := Train(initialState(), []adt.Task{identityTask(2), identityTask(5)}, Options{Mode: seqabs.Abstract})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflict, hit := abstract.Lookup(p.Trace().Syms(), pShort.Trace().Syms())
+	if !hit || conflict {
+		t.Fatalf("abstract mode must hit and report commutativity; conflict=%v hit=%v", conflict, hit)
+	}
+}
+
+func TestTrainManyMerges(t *testing.T) {
+	payloads := [][]adt.Task{
+		{identityTask(2), identityTask(3)},
+		{stackTask(1), stackTask(2)},
+	}
+	c, reps, err := TrainMany(initialState(), payloads, Options{Mode: seqabs.Abstract})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("reports = %d", len(reps))
+	}
+	if c.Len() < 2 {
+		t.Fatalf("merged cache must hold both patterns, len=%d\n%s", c.Len(), c.Dump())
+	}
+}
+
+func TestReportString(t *testing.T) {
+	_, rep, err := Train(initialState(), []adt.Task{identityTask(1), identityTask(2)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"trace=", "plocs=", "cached="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func TestLearnRespectsPairBound(t *testing.T) {
+	// Many tasks on one location; bound pair enumeration to 1.
+	var tasks []adt.Task
+	for i := 0; i < 6; i++ {
+		tasks = append(tasks, identityTask(int64(i+1)))
+	}
+	st := initialState()
+	p := NewProfiler(st)
+	if err := p.Run(tasks); err != nil {
+		t.Fatal(err)
+	}
+	c := cache.New(seqabs.Abstract)
+	rep, err := Learn(c, initialState(), p.Trace(), Options{MaxPairsPerLoc: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PairsConsidered != 1 {
+		t.Fatalf("PairsConsidered = %d, want 1", rep.PairsConsidered)
+	}
+}
+
+func TestTrainDoesNotMutateCallerState(t *testing.T) {
+	st := initialState()
+	if _, _, err := Train(st, []adt.Task{identityTask(2)}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := st.Get("work"); !v.EqualValue(state.Int(0)) {
+		t.Errorf("caller state mutated: work=%v", v)
+	}
+}
+
+func TestProfilerSkipsLocalWork(t *testing.T) {
+	st := initialState()
+	p := NewProfiler(st)
+	var sink adt.CostSink = p
+	sink.AddLocalWork(1 << 40) // must be free: no spinning
+	task := func(ex adt.Executor) error {
+		adt.LocalWork(ex, 1<<40) // would take hours if actually spun
+		return (adt.Counter{L: "work"}).Add(ex, 1)
+	}
+	if err := p.Run([]adt.Task{task}); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Trace()) != 1 {
+		t.Fatalf("trace = %d ops", len(p.Trace()))
+	}
+}
+
+func TestSkipVerifyStillCaches(t *testing.T) {
+	c, rep, err := Train(initialState(), []adt.Task{identityTask(2), identityTask(5)},
+		Options{Mode: seqabs.Abstract, SkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() == 0 {
+		t.Fatalf("SkipVerify must still cache proved pairs")
+	}
+	if rep.SATChecks != 0 || rep.VerifyDropped != 0 {
+		t.Fatalf("SkipVerify must not run verification: %+v", rep)
+	}
+}
+
+func TestTrainingIsDeterministic(t *testing.T) {
+	tasks := []adt.Task{identityTask(2), stackTask(4), drawTask("white"), drawTask("white")}
+	a, _, err := Train(initialState(), tasks, Options{Mode: seqabs.Abstract})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Train(initialState(), tasks, Options{Mode: seqabs.Abstract})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dump() != b.Dump() {
+		t.Fatalf("training runs differ:\n%s\nvs\n%s", a.Dump(), b.Dump())
+	}
+}
+
+func TestTaskErrorSurfacesWithTaskNumber(t *testing.T) {
+	bad := func(adt.Executor) error { return errSentinel }
+	_, _, err := Train(initialState(), []adt.Task{identityTask(1), bad}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "task 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+var errSentinel = errors.New("sentinel")

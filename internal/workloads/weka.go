@@ -1,0 +1,148 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/state"
+)
+
+// Weka rendering constants (Figure 5's colors).
+const (
+	wekaBackground = "background.darker.darker"
+	wekaWhite      = "white"
+	wekaBlack      = "black"
+)
+
+func wekaPixelLoc(x, y int) state.Loc {
+	return state.Loc(fmt.Sprintf("canvas.%d:%d", x, y))
+}
+
+// wekaColorReg is the Graphics2D object's current-color register: every
+// task calls g.setColor(...) on the one shared Graphics object, the
+// write-write traffic that makes write-set detection abort every
+// interleaved pair of rendering transactions. All tasks run the same
+// setColor sequence with equal arguments, so sequence-based detection
+// proves the stores equal (equal-writes).
+const wekaColorReg = state.Loc("graphics.color")
+
+// Weka reproduces the GraphVisualizer rendering loop of Figure 5: each
+// task draws one graph node — the node's oval in the darkened background
+// color, its label in white — and the edges incident to it in black. Both
+// endpoint tasks of an edge draw the same line pixels with the same color,
+// the equal-writes pattern: write-set detection conflicts on every shared
+// pixel, while sequence-based detection proves the stores equal.
+func Weka() *Workload {
+	return &Workload{
+		Name:            "weka",
+		Version:         "3.6.4",
+		Desc:            "Machine-learning library; Bayesian-network graph rendering",
+		Patterns:        []string{"equal-writes"},
+		TrainingInput:   "random Bayesian networks: 100 nodes, average degree 5 and 10",
+		ProductionInput: "random Bayesian networks: 1000 nodes, average degree 5 and 10",
+		Ordered:         false,
+		NewState:        wekaState,
+		Tasks:           wekaTasks,
+		Relaxations:     nil,
+		LocalWork:       20000,
+	}
+}
+
+func wekaState() *state.State {
+	// Pixels materialize on first draw.
+	st := state.New()
+	st.Set(wekaColorReg, state.Str(""))
+	return st
+}
+
+// wekaNodePos lays nodes on a deterministic grid.
+func wekaNodePos(v int) (x, y int) {
+	const cols = 40
+	return (v % cols) * 12, (v / cols) * 12
+}
+
+func wekaTasks(size Size, seed int64) []adt.Task {
+	g := jgGraphFor(size, seed) // same Table 6 graph shapes
+	w := Weka()
+	tasks := make([]adt.Task, g.n)
+	for i := 0; i < g.n; i++ {
+		v := i
+		nbs := g.neighbors[v]
+		tasks[i] = func(ex adt.Executor) error {
+			x, y := wekaNodePos(v)
+			colorReg := adt.StrVar{L: wekaColorReg}
+			// g.setColor(this.getBackground().darker().darker())
+			if err := colorReg.Store(ex, wekaBackground); err != nil {
+				return err
+			}
+			if _, err := colorReg.Load(ex); err != nil {
+				return err
+			}
+			// Node oval in the darkened background color (private pixels).
+			for dx := 0; dx < 3; dx++ {
+				for dy := 0; dy < 2; dy++ {
+					px := adt.StrVar{L: wekaPixelLoc(x+dx, y+dy)}
+					if err := px.Store(ex, wekaBackground); err != nil {
+						return err
+					}
+				}
+			}
+			// g.setColor(Color.white)
+			if err := colorReg.Store(ex, wekaWhite); err != nil {
+				return err
+			}
+			if _, err := colorReg.Load(ex); err != nil {
+				return err
+			}
+			// Label in white (private pixels).
+			for dx := 0; dx < 2; dx++ {
+				px := adt.StrVar{L: wekaPixelLoc(x+dx, y+2)}
+				if err := px.Store(ex, wekaWhite); err != nil {
+					return err
+				}
+			}
+			// Edges in black: g.setColor(Color.black) precedes every
+			// drawLine call (cf. Figure 5), so the color register's
+			// sequence length grows with the node's degree — fixed-length
+			// cache keys miss on unseen degrees, while the Kleene-cross
+			// abstraction collapses the store/load runs. Both endpoints
+			// draw the full line, so the line pixels are written twice
+			// with equal values.
+			for _, nb := range nbs {
+				if err := colorReg.Store(ex, wekaBlack); err != nil {
+					return err
+				}
+				if _, err := colorReg.Load(ex); err != nil {
+					return err
+				}
+				nx, ny := wekaNodePos(nb)
+				for _, p := range linePixels(x, y, nx, ny, 6) {
+					px := adt.StrVar{L: wekaPixelLoc(p[0], p[1])}
+					if err := px.Store(ex, wekaBlack); err != nil {
+						return err
+					}
+				}
+			}
+			adt.LocalWork(ex, int64(w.LocalWork))
+			return nil
+		}
+	}
+	return tasks
+}
+
+// linePixels samples up to n points on the segment (x0,y0)–(x1,y1),
+// deterministically and symmetrically (both endpoints produce identical
+// pixels for the same edge).
+func linePixels(x0, y0, x1, y1, n int) [][2]int {
+	// Canonicalize the endpoint order so both tasks sample identically.
+	if x1 < x0 || (x1 == x0 && y1 < y0) {
+		x0, y0, x1, y1 = x1, y1, x0, y0
+	}
+	out := make([][2]int, 0, n)
+	for i := 1; i <= n; i++ {
+		px := x0 + (x1-x0)*i/(n+1)
+		py := y0 + (y1-y0)*i/(n+1)
+		out = append(out, [2]int{px, py})
+	}
+	return out
+}

@@ -1,0 +1,338 @@
+// Package janus is a from-scratch Go reproduction of JANUS, the
+// speculative parallelization system of Tripp, Manevich, Field, and Sagiv,
+// "JANUS: Exploiting Parallelism via Hindsight" (PLDI 2012).
+//
+// JANUS runs client-provided tasks optimistically in parallel and detects
+// conflicts between concurrent transactions by reasoning about entire
+// sequences of operations and their composite effect — so a transaction
+// that increments and later decrements a shared counter (net identity)
+// does not conflict with another doing the same, where classical
+// write-set detection would abort one of them. The expensive sequence
+// judgments are made cheap by hindsight: commutativity conditions are
+// learned offline from single-threaded training runs, generalized into
+// regular forms via the Kleene-cross abstraction, and cached for O(1)
+// lookup during parallel execution.
+//
+// # Quick start
+//
+//	st := janus.NewState()
+//	workCtr := janus.InitCounter(st, "work", 0)
+//
+//	mkTask := func(w int64) janus.Task {
+//		return func(ex janus.Executor) error {
+//			if err := workCtr.Add(ex, w); err != nil {
+//				return err
+//			}
+//			// ... process the item ...
+//			return workCtr.Sub(ex, w) // processed: restore pending work
+//		}
+//	}
+//
+//	r := janus.New(janus.Config{Detection: janus.DetectSequence})
+//	if err := r.Train(st, trainingTasks); err != nil { ... }
+//	final, stats, err := r.RunOutOfOrder(st, productionTasks)
+//
+// See the examples directory for complete programs, and DESIGN.md for the
+// mapping from the paper's sections to packages.
+package janus
+
+import (
+	"io"
+
+	"repro/internal/adt"
+	"repro/internal/cache"
+	"repro/internal/conflict"
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/relspec"
+	"repro/internal/state"
+	"repro/internal/stm"
+	"repro/internal/train"
+)
+
+// Re-exported core types: tasks access shared state through typed handles
+// bound to named locations, and every access is logged by the runtime for
+// conflict detection and commit-time replay.
+type (
+	// Task is one unit of parallelizable work (a loop iteration).
+	Task = adt.Task
+	// Executor applies shared-state operations for a task.
+	Executor = adt.Executor
+	// State is the shared store.
+	State = state.State
+	// Loc names a shared location.
+	Loc = state.Loc
+
+	// Counter is a shared integer (identity/reduction patterns).
+	Counter = adt.Counter
+	// StrVar is a shared string (shared-as-local pattern).
+	StrVar = adt.StrVar
+	// BoolVar is a shared boolean.
+	BoolVar = adt.BoolVar
+	// Stack is a shared integer stack (balanced push/pop identity).
+	Stack = adt.Stack
+	// BitSet is a shared bit set with relational abstraction.
+	BitSet = adt.BitSet
+	// KVMap is a shared string map with relational abstraction.
+	KVMap = adt.KVMap
+	// IntArray is a shared integer array with relational abstraction.
+	IntArray = adt.IntArray
+	// Canvas is a shared pixel raster (equal-writes pattern).
+	Canvas = adt.Canvas
+
+	// Relaxations declares tolerable RAW/WAW conflicts per location (§5.3).
+	Relaxations = conflict.Relaxations
+
+	// CustomSpec declares a user-defined ADT's relational representation
+	// (§6.1): arbitrary columns with an optional functional dependency
+	// whose domain names the key columns.
+	CustomSpec = relspec.Spec
+	// CustomObject is the handle to a shared instance of a CustomSpec.
+	CustomObject = relspec.Object
+	// Tuple is a relational tuple (column → value).
+	Tuple = relation.Tuple
+)
+
+// NewState returns an empty shared store.
+func NewState() *State { return state.New() }
+
+// NewRelaxations builds a consistency-relaxation specification from the
+// locations whose read-after-write (raw) and write-after-write (waw)
+// conflicts are tolerable.
+func NewRelaxations(raw, waw []Loc) *Relaxations {
+	return conflict.NewRelaxations(raw, waw)
+}
+
+// InitCounter binds loc to the initial value and returns its handle.
+func InitCounter(st *State, loc Loc, v int64) Counter {
+	st.Set(loc, state.Int(v))
+	return Counter{L: loc}
+}
+
+// InitStrVar binds loc to the initial value and returns its handle.
+func InitStrVar(st *State, loc Loc, v string) StrVar {
+	st.Set(loc, state.Str(v))
+	return StrVar{L: loc}
+}
+
+// InitBoolVar binds loc to the initial value and returns its handle.
+func InitBoolVar(st *State, loc Loc, v bool) BoolVar {
+	st.Set(loc, state.Bool(v))
+	return BoolVar{L: loc}
+}
+
+// InitStack binds loc to an empty stack and returns its handle.
+func InitStack(st *State, loc Loc) Stack {
+	st.Set(loc, state.IntList{})
+	return Stack{L: loc}
+}
+
+// InitBitSet binds loc to an empty relational bit set and returns its
+// handle.
+func InitBitSet(st *State, loc Loc) BitSet {
+	st.Set(loc, adt.NewRelValue())
+	return BitSet{L: loc}
+}
+
+// InitKVMap binds loc to an empty relational map and returns its handle.
+func InitKVMap(st *State, loc Loc) KVMap {
+	st.Set(loc, adt.NewRelValue())
+	return KVMap{L: loc}
+}
+
+// InitIntArray binds loc to an empty relational array and returns its
+// handle (unset indices read as zero).
+func InitIntArray(st *State, loc Loc) IntArray {
+	st.Set(loc, adt.NewRelValue())
+	return IntArray{L: loc}
+}
+
+// InitCanvas binds loc to an empty relational raster and returns its
+// handle.
+func InitCanvas(st *State, loc Loc) Canvas {
+	st.Set(loc, adt.NewRelValue())
+	return Canvas{L: loc}
+}
+
+// InitCustom binds loc to an empty instance of a user-defined relational
+// ADT (§6.1) and returns its handle. The spec's columns and functional
+// dependency define the structure's semantic state; its operations
+// (Put/Get/Has/Delete/Clear) participate in sequence-based conflict
+// detection exactly like the built-in ADTs.
+func InitCustom(st *State, loc Loc, spec CustomSpec) (CustomObject, error) {
+	return relspec.New(st, loc, spec)
+}
+
+// Detection selects the conflict-detection algorithm.
+type Detection int
+
+// Detection algorithms.
+const (
+	// DetectSequence is JANUS's sequence-based detection (§5).
+	DetectSequence Detection = iota
+	// DetectWriteSet is the traditional baseline.
+	DetectWriteSet
+)
+
+// String renders the algorithm name.
+func (d Detection) String() string {
+	if d == DetectWriteSet {
+		return "write-set"
+	}
+	return "sequence"
+}
+
+// Privatization selects the snapshot strategy of §4.1.
+type Privatization = stm.Privatize
+
+// Privatization modes.
+const (
+	// PrivatizeCopy deep-copies shared state at transaction begin.
+	PrivatizeCopy = stm.PrivatizeCopy
+	// PrivatizePersistent snapshots a fully persistent map in O(1).
+	PrivatizePersistent = stm.PrivatizePersistent
+)
+
+// Config parameterizes a Runner.
+type Config struct {
+	// Threads is the worker count (0 = GOMAXPROCS).
+	Threads int
+	// Detection selects the conflict detector.
+	Detection Detection
+	// DisableAbstraction turns off the §5.2 Kleene-cross sequence
+	// abstraction (the Figure 11 ablation); cache keys then require an
+	// exact shape match.
+	DisableAbstraction bool
+	// Online answers cache misses with the concrete sequence check at
+	// runtime instead of the write-set fallback (§5.3 alternative).
+	Online bool
+	// LearnOnline proves and caches commutativity conditions for missed
+	// shape pairs at runtime — "online training" via memoization (§5.3) —
+	// so an untrained Runner converges to trained behavior after one miss
+	// per shape pair.
+	LearnOnline bool
+	// InferWAW enables §5.3's limited automatic inference: write-after-
+	// write dependences between two transactions are ignored when every
+	// read involved is order-insensitive. The final state is then the
+	// commit-order serialization: identical to the sequential order under
+	// RunInOrder, some legal serial order under RunOutOfOrder.
+	InferWAW bool
+	// Relax is the consistency-relaxation specification; may be nil.
+	Relax *Relaxations
+	// Privatize selects the snapshot strategy.
+	Privatize Privatization
+	// ReclaimLogs enables committed-history reclamation.
+	ReclaimLogs bool
+	// MaxRetries guards against livelock in tests (0 = unlimited).
+	MaxRetries int
+	// SkipTrainingVerify disables training-time verification (concrete
+	// Figure 8 validation and SAT equivalence checks).
+	SkipTrainingVerify bool
+}
+
+// Runner is a configured JANUS instance: train it once, then run task
+// sets in parallel. The zero Config gives sequence-based detection with
+// abstraction on.
+type Runner struct {
+	cfg    Config
+	engine *core.Engine
+}
+
+// New builds a Runner.
+func New(cfg Config) *Runner {
+	return &Runner{cfg: cfg, engine: core.NewEngine(core.Options{
+		DisableAbstraction: cfg.DisableAbstraction,
+		Online:             cfg.Online,
+		LearnOnline:        cfg.LearnOnline,
+		InferWAW:           cfg.InferWAW,
+		Relax:              cfg.Relax,
+		SkipVerify:         cfg.SkipTrainingVerify,
+	})}
+}
+
+// Train profiles the payload sequentially (no synchronization) from the
+// given initial state and folds the learned commutativity conditions into
+// the runner's cache. Call it once per training payload (the paper uses
+// five runs).
+func (r *Runner) Train(initial *State, tasks []Task) error {
+	return r.engine.Train(initial, tasks)
+}
+
+// TrainingReports returns the per-payload training summaries.
+func (r *Runner) TrainingReports() []*train.Report { return r.engine.Reports() }
+
+// CacheStats returns the commutativity cache's query accounting (the
+// Figure 11 metrics).
+func (r *Runner) CacheStats() cache.Stats { return r.engine.Cache().Stats() }
+
+// ResetCacheStats clears query accounting (e.g. after a cold run).
+func (r *Runner) ResetCacheStats() { r.engine.Cache().ResetStats() }
+
+// SaveSpec writes the trained commutativity specification as JSON, the
+// deployment artifact of the Figure 6 flow: train once on representative
+// inputs, ship the spec, load it in production with LoadSpec.
+func (r *Runner) SaveSpec(w io.Writer) error { return r.engine.SaveSpec(w) }
+
+// LoadSpec merges a saved commutativity specification into the runner.
+// The spec must have been built under the same abstraction setting.
+func (r *Runner) LoadSpec(rd io.Reader) error { return r.engine.LoadSpec(rd) }
+
+// RunStats aggregates one run's statistics.
+type RunStats struct {
+	// Run is the protocol-level accounting (commits, retries — the
+	// Figure 10 metrics).
+	Run stm.Stats
+	// Detector is the conflict-detector accounting.
+	Detector conflict.Stats
+}
+
+// detector builds the configured detector instance for one run.
+func (r *Runner) detector() conflict.Detector {
+	if r.cfg.Detection == DetectWriteSet {
+		return conflict.NewWriteSet()
+	}
+	return r.engine.Detector()
+}
+
+func (r *Runner) run(initial *State, tasks []Task, ordered bool) (*State, RunStats, error) {
+	det := r.detector()
+	final, stats, err := stm.Run(stm.Config{
+		Threads:     r.cfg.Threads,
+		Ordered:     ordered,
+		Detector:    det,
+		Privatize:   r.cfg.Privatize,
+		MaxRetries:  r.cfg.MaxRetries,
+		ReclaimLogs: r.cfg.ReclaimLogs,
+	}, initial, tasks)
+	rs := RunStats{Run: stats}
+	switch d := det.(type) {
+	case *conflict.WriteSet:
+		rs.Detector = d.Stats()
+	case *conflict.Sequence:
+		rs.Detector = d.Stats()
+	}
+	return final, rs, err
+}
+
+// Run executes the tasks in parallel with unordered commits.
+func (r *Runner) Run(initial *State, tasks []Task) (*State, RunStats, error) {
+	return r.run(initial, tasks, false)
+}
+
+// RunInOrder executes the tasks in parallel with commits following task
+// order (the prototype's runInOrder).
+func (r *Runner) RunInOrder(initial *State, tasks []Task) (*State, RunStats, error) {
+	return r.run(initial, tasks, true)
+}
+
+// RunOutOfOrder executes the tasks in parallel with unordered commits
+// (the prototype's runOutOfOrder).
+func (r *Runner) RunOutOfOrder(initial *State, tasks []Task) (*State, RunStats, error) {
+	return r.run(initial, tasks, false)
+}
+
+// Sequential executes the tasks one at a time with no synchronization —
+// the paper's sequential baseline. The initial state is not mutated.
+func Sequential(initial *State, tasks []Task) (*State, error) {
+	return stm.RunSequential(initial, tasks)
+}

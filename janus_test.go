@@ -1,0 +1,430 @@
+package janus
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func exampleState() *State {
+	st := NewState()
+	InitCounter(st, "work", 0)
+	InitStack(st, "stack")
+	InitStrVar(st, "name", "")
+	InitBoolVar(st, "flag", false)
+	InitBitSet(st, "bits")
+	InitKVMap(st, "map")
+	InitIntArray(st, "arr")
+	InitCanvas(st, "canvas")
+	return st
+}
+
+func identityTask(n int64) Task {
+	return func(ex Executor) error {
+		c := Counter{L: "work"}
+		if err := c.Add(ex, n); err != nil {
+			return err
+		}
+		return c.Sub(ex, n)
+	}
+}
+
+func addTask(n int64) Task {
+	return func(ex Executor) error {
+		return Counter{L: "work"}.Add(ex, n)
+	}
+}
+
+func TestInitHelpersBindLocations(t *testing.T) {
+	st := exampleState()
+	if st.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", st.Len())
+	}
+	seq, err := Sequential(st, []Task{func(ex Executor) error {
+		if err := (Stack{L: "stack"}).Push(ex, 1); err != nil {
+			return err
+		}
+		if err := (StrVar{L: "name"}).Store(ex, "x"); err != nil {
+			return err
+		}
+		if err := (BoolVar{L: "flag"}).Store(ex, true); err != nil {
+			return err
+		}
+		if err := (BitSet{L: "bits"}).Set(ex, 3); err != nil {
+			return err
+		}
+		if err := (KVMap{L: "map"}).Put(ex, "k", "v"); err != nil {
+			return err
+		}
+		if err := (IntArray{L: "arr"}).Set(ex, 0, 9); err != nil {
+			return err
+		}
+		return (Canvas{L: "canvas"}).DrawPixel(ex, 1, 2, "red")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := seq.Get("name"); !ok || v.String() != "x" {
+		t.Errorf("name = %v", v)
+	}
+}
+
+func TestTrainThenRun(t *testing.T) {
+	st := exampleState()
+	var tasks []Task
+	for i := 1; i <= 10; i++ {
+		tasks = append(tasks, identityTask(int64(i)))
+	}
+	r := New(Config{Threads: 4, Detection: DetectSequence})
+	if err := r.Train(st, tasks[:3]); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.TrainingReports()) != 1 {
+		t.Fatalf("reports = %d", len(r.TrainingReports()))
+	}
+	final, stats, err := r.Run(st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := final.Get("work"); v.String() != "0" {
+		t.Fatalf("work = %v", v)
+	}
+	if stats.Run.Commits != 10 {
+		t.Fatalf("commits = %d", stats.Run.Commits)
+	}
+	if stats.Run.Retries != 0 {
+		t.Fatalf("identity tasks must not retry under sequence detection, got %d", stats.Run.Retries)
+	}
+}
+
+func TestRunInOrderPreservesOrder(t *testing.T) {
+	st := exampleState()
+	push := func(v int64) Task {
+		return func(ex Executor) error { return Stack{L: "stack"}.Push(ex, v) }
+	}
+	tasks := []Task{push(1), push(2), push(3), push(4)}
+	r := New(Config{Threads: 4, Detection: DetectWriteSet})
+	final, _, err := r.RunInOrder(st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := final.Get("stack")
+	if v.String() != "[1 2 3 4]" {
+		t.Fatalf("stack = %v", v)
+	}
+}
+
+func TestWriteSetConfigUsesBaselineDetector(t *testing.T) {
+	st := exampleState()
+	r := New(Config{Threads: 2, Detection: DetectWriteSet})
+	_, stats, err := r.RunOutOfOrder(st, []Task{addTask(1), addTask(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Detector.Detections == 0 {
+		t.Fatalf("write-set detector not consulted")
+	}
+}
+
+func TestCacheStatsAndReset(t *testing.T) {
+	st := exampleState()
+	var tasks []Task
+	for i := 1; i <= 6; i++ {
+		tasks = append(tasks, identityTask(int64(i)))
+	}
+	r := New(Config{Threads: 1})
+	if err := r.Train(st, tasks[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheStats().Entries == 0 {
+		t.Fatalf("training produced no cache entries")
+	}
+	r.ResetCacheStats()
+	if s := r.CacheStats(); s.Lookups != 0 {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+}
+
+func TestDisableAbstraction(t *testing.T) {
+	st := exampleState()
+	abs := New(Config{})
+	conc := New(Config{DisableAbstraction: true})
+	// Three tasks whose identity sequences have different lengths (1, 2,
+	// and 3 add/sub pairs): under abstraction all collapse to one
+	// pattern, so the three trained pairs share a single cache entry;
+	// without it each length combination is a separate entry.
+	repeated := func(n int) Task {
+		return func(ex Executor) error {
+			for i := 1; i <= n; i++ {
+				if err := identityTask(int64(i))(ex); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	payload := []Task{repeated(1), repeated(2), repeated(3)}
+	for _, r := range []*Runner{abs, conc} {
+		if err := r.Train(st, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both runners learned from the same payload; the abstract one has a
+	// single unified identity pattern, the concrete one separates by
+	// length.
+	if abs.CacheStats().Entries >= conc.CacheStats().Entries {
+		t.Fatalf("abstraction must unify entries: %d vs %d",
+			abs.CacheStats().Entries, conc.CacheStats().Entries)
+	}
+}
+
+func TestRelaxationsViaConfig(t *testing.T) {
+	st := exampleState()
+	scribble := func(v string) Task {
+		return func(ex Executor) error {
+			s := StrVar{L: "name"}
+			if err := s.Store(ex, v); err != nil {
+				return err
+			}
+			_, err := s.Load(ex)
+			return err
+		}
+	}
+	tasks := []Task{scribble("a"), scribble("b"), scribble("c"), scribble("d")}
+	r := New(Config{
+		Threads: 4,
+		Relax:   NewRelaxations(nil, []Loc{"name"}),
+	})
+	_, stats, err := r.RunOutOfOrder(st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Run.Retries != 0 {
+		t.Fatalf("WAW-relaxed scratch writes must not retry, got %d", stats.Run.Retries)
+	}
+}
+
+func TestMaxRetriesSurfaceInConfig(t *testing.T) {
+	st := exampleState()
+	r := New(Config{Threads: 1, MaxRetries: 2})
+	if _, _, err := r.Run(st, []Task{addTask(1)}); err != nil {
+		t.Fatalf("single task cannot exceed retries: %v", err)
+	}
+}
+
+func TestDetectionString(t *testing.T) {
+	if DetectSequence.String() != "sequence" || DetectWriteSet.String() != "write-set" {
+		t.Errorf("detection strings wrong")
+	}
+}
+
+func TestSequentialDoesNotMutateInput(t *testing.T) {
+	st := exampleState()
+	if _, err := Sequential(st, []Task{addTask(5)}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := st.Get("work"); v.String() != "0" {
+		t.Fatalf("input state mutated: %v", v)
+	}
+}
+
+func TestOnlineModeConfig(t *testing.T) {
+	st := exampleState()
+	var tasks []Task
+	for i := 1; i <= 8; i++ {
+		tasks = append(tasks, identityTask(int64(i)))
+	}
+	// No training at all: online mode must still admit identity pairs by
+	// running the concrete Figure 8 check at runtime.
+	r := New(Config{Threads: 4, Online: true})
+	_, stats, err := r.RunOutOfOrder(st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Run.Retries != 0 {
+		t.Fatalf("online sequence checking must admit identity pairs, got %d retries", stats.Run.Retries)
+	}
+}
+
+func TestLearnOnlineRunnerConverges(t *testing.T) {
+	st := exampleState()
+	var tasks []Task
+	for i := 1; i <= 12; i++ {
+		n := int64(i)
+		tasks = append(tasks, func(ex Executor) error {
+			c := Counter{L: "work"}
+			if err := c.Add(ex, n); err != nil {
+				return err
+			}
+			// Yield so transactions overlap even on a single-core host,
+			// forcing real conflict queries.
+			time.Sleep(200 * time.Microsecond)
+			return c.Sub(ex, n)
+		})
+	}
+	// No Train call at all: the runner learns conditions at runtime.
+	r := New(Config{Threads: 4, LearnOnline: true})
+	final, stats, err := r.RunOutOfOrder(st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := final.Get("work"); v.String() != "0" {
+		t.Fatalf("work = %v", v)
+	}
+	if stats.Run.Retries != 0 {
+		t.Fatalf("online learning must admit identity pairs immediately, got %d retries", stats.Run.Retries)
+	}
+	if stats.Detector.PairQueries > 0 && r.CacheStats().Entries == 0 {
+		t.Fatalf("online learning must populate the cache (queries=%d)", stats.Detector.PairQueries)
+	}
+}
+
+func TestInferWAWOrderedEqualsSequential(t *testing.T) {
+	st := exampleState()
+	scribble := func(v string) Task {
+		return func(ex Executor) error {
+			s := StrVar{L: "name"}
+			if err := s.Store(ex, v); err != nil {
+				return err
+			}
+			_, err := s.Load(ex)
+			return err
+		}
+	}
+	tasks := []Task{scribble("a"), scribble("b"), scribble("c"), scribble("d")}
+	want, err := Sequential(st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(Config{Threads: 4, InferWAW: true})
+	final, stats, err := r.RunInOrder(st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Run.Retries != 0 {
+		t.Fatalf("InferWAW must suppress the WAW aborts, got %d retries", stats.Run.Retries)
+	}
+	if !final.Equal(want) {
+		t.Fatalf("ordered InferWAW run must equal the sequential state:\ngot  %s\nwant %s", final, want)
+	}
+}
+
+func TestInferWAWUnorderedIsCommitOrderSerial(t *testing.T) {
+	st := exampleState()
+	scribble := func(v string) Task {
+		return func(ex Executor) error {
+			s := StrVar{L: "name"}
+			if err := s.Store(ex, v); err != nil {
+				return err
+			}
+			got, err := s.Load(ex)
+			if err != nil {
+				return err
+			}
+			if got != v {
+				t.Errorf("task read %q after storing %q", got, v)
+			}
+			return nil
+		}
+	}
+	vals := []string{"a", "b", "c", "d", "e"}
+	var tasks []Task
+	for _, v := range vals {
+		tasks = append(tasks, scribble(v))
+	}
+	r := New(Config{Threads: 4, InferWAW: true})
+	final, _, err := r.RunOutOfOrder(st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := final.Get("name")
+	ok := false
+	for _, v := range vals {
+		if got.String() == v {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("final name %v is not any task's store", got)
+	}
+}
+
+func TestSpecSaveLoadAcrossRunners(t *testing.T) {
+	st := exampleState()
+	var tasks []Task
+	for i := 1; i <= 8; i++ {
+		tasks = append(tasks, identityTask(int64(i)))
+	}
+	trainer := New(Config{})
+	if err := trainer.Train(st, tasks[:3]); err != nil {
+		t.Fatal(err)
+	}
+	var spec bytes.Buffer
+	if err := trainer.SaveSpec(&spec); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh production runner loads the shipped spec instead of
+	// training.
+	prod := New(Config{Threads: 4})
+	if err := prod.LoadSpec(bytes.NewReader(spec.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if prod.CacheStats().Entries == 0 {
+		t.Fatalf("loaded spec is empty")
+	}
+	final, stats, err := prod.RunOutOfOrder(st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := final.Get("work"); v.String() != "0" {
+		t.Fatalf("work = %v", v)
+	}
+	if stats.Run.Retries != 0 {
+		t.Fatalf("loaded spec must admit identity pairs, got %d retries", stats.Run.Retries)
+	}
+	// Mode mismatch is rejected.
+	other := New(Config{DisableAbstraction: true})
+	if err := other.LoadSpec(bytes.NewReader(spec.Bytes())); err == nil {
+		t.Fatalf("abstraction-mode mismatch must be rejected")
+	}
+}
+
+func TestInitCustomADT(t *testing.T) {
+	st := NewState()
+	spec := CustomSpec{Columns: []string{"host", "port", "status"}, Domain: []string{"host", "port"}}
+	obj, err := InitCustom(st, "endpoints", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := func(status string) Task {
+		return func(ex Executor) error {
+			if err := obj.Put(ex, Tuple{"host": "db", "port": "5432", "status": status}); err != nil {
+				return err
+			}
+			_, _, err := obj.Get(ex, Tuple{"host": "db", "port": "5432"})
+			return err
+		}
+	}
+	tasks := []Task{task("up"), task("up"), task("up"), task("up")}
+	r := New(Config{Threads: 4})
+	if err := r.Train(st, tasks[:2]); err != nil {
+		t.Fatal(err)
+	}
+	final, stats, err := r.RunOutOfOrder(st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Run.Retries != 0 {
+		t.Fatalf("equal-writes custom ADT must not retry, got %d", stats.Run.Retries)
+	}
+	seqFinal, err := Sequential(st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Equal(seqFinal) {
+		t.Fatalf("custom ADT run diverged from sequential")
+	}
+	if _, err := InitCustom(st, "bad", CustomSpec{}); err == nil {
+		t.Fatalf("invalid spec must be rejected")
+	}
+}
