@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all vet build test race check bench trace clean
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short race job over the concurrency-heavy packages (mirrors CI).
+race:
+	$(GO) test -race -count=1 . ./internal/stm ./internal/conflict ./internal/obs ./internal/cache ./internal/vtime
+
+check: vet build test race
+
+bench:
+	$(GO) run ./cmd/janus-bench
+
+# Capture a Chrome trace of one production run (open in ui.perfetto.dev).
+trace:
+	$(GO) run ./cmd/janus-bench -trace out.json -workloads jfilesync
+
+clean:
+	rm -f out.json

@@ -1,5 +1,6 @@
 // Command janus-bench regenerates the JANUS evaluation (§7): Figures 9,
-// 10, and 11 and Tables 5 and 6.
+// 10, and 11 and Tables 5 and 6, plus profiled single runs with event
+// tracing and machine-readable stats.
 //
 // Usage:
 //
@@ -9,6 +10,17 @@
 //	janus-bench -size small -runs 2     # faster, reduced inputs
 //	janus-bench -workloads jfilesync,pmd
 //	janus-bench -mode wall              # wall-clock runtime (multi-core hosts)
+//
+// Observability:
+//
+//	janus-bench -trace out.json -workloads jfilesync
+//	    run one traced production run and write a Chrome trace-event
+//	    file (open in Perfetto / chrome://tracing): per-worker lanes,
+//	    abort events with reason + location, cache queries
+//	janus-bench -json -workloads jfilesync,pmd
+//	    emit full RunStats + CacheStats + timing as JSON
+//	janus-bench -obs :6060 ...
+//	    serve /debug/vars (expvar) and /debug/pprof during the run
 package main
 
 import (
@@ -18,6 +30,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/vtime"
 	"repro/internal/workloads"
 )
@@ -34,6 +47,10 @@ func main() {
 		training = flag.Bool("training-summary", false, "also print the per-benchmark training reports")
 		timeline = flag.String("timeline", "", "print the simulated schedule of one benchmark and exit")
 		cores    = flag.Int("cores", 0, "override the simulated machine's core count (0 = the paper's 4-core/2-SMT testbed)")
+		traceOut = flag.String("trace", "", "profile one traced wall-clock run and write a Chrome trace-event file here (default workload: jfilesync)")
+		jsonOut  = flag.Bool("json", false, "profile wall-clock runs and emit RunStats + CacheStats + timing as JSON")
+		detName  = flag.String("detector", "seq", "detector for profiled runs: seq or ws")
+		obsAddr  = flag.String("obs", "", "serve /debug/vars and /debug/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -70,9 +87,19 @@ func main() {
 		opts.Machine = &vtime.Machine{Cores: *cores, SMTBonus: 0.25}
 	}
 
+	if *obsAddr != "" {
+		addr, err := obs.Serve(*obsAddr)
+		check(err)
+		fmt.Fprintf(os.Stderr, "janus-bench: debug endpoint on http://%s/debug/vars\n", addr)
+	}
+
 	out := os.Stdout
 	if *timeline != "" {
 		check(bench.Timeline(out, *timeline, opts.Threads[len(opts.Threads)-1], opts))
+		return
+	}
+	if *traceOut != "" || *jsonOut {
+		profile(out, opts, *traceOut, *jsonOut, *detName)
 		return
 	}
 	wantFig := func(n int) bool { return *figure == 0 && *table == 0 || *figure == n }
@@ -100,6 +127,60 @@ func main() {
 	}
 	if *training {
 		check(bench.TrainingSummary(out))
+	}
+}
+
+// profile runs the observability mode: one wall-clock production run per
+// selected workload (default jfilesync), optionally traced, reported as
+// JSON or a human summary.
+func profile(out *os.File, opts bench.Opts, traceOut string, jsonOut bool, detName string) {
+	det := bench.Seq
+	switch detName {
+	case "seq":
+	case "ws":
+		det = bench.WS
+	default:
+		fatalf("unknown -detector %q (want seq or ws)", detName)
+	}
+	names := opts.Workloads
+	if len(names) == 0 {
+		names = []string{"jfilesync"}
+	}
+	if traceOut != "" && len(names) > 1 {
+		fatalf("-trace profiles a single workload; got %d (use -workloads)", len(names))
+	}
+	threads := opts.Threads[len(opts.Threads)-1]
+	var reports []bench.RunReport
+	for _, name := range names {
+		w, err := workloads.ByName(name)
+		check(err)
+		var tracer *obs.Trace
+		if traceOut != "" {
+			tracer = obs.NewTrace(0)
+			obs.Publish("janus.obs", tracer)
+		}
+		rep, err := bench.ProfileRun(w, det, threads, opts, tracer)
+		check(err)
+		reports = append(reports, rep)
+		if traceOut != "" {
+			f, err := os.Create(traceOut)
+			check(err)
+			check(tracer.WriteChromeJSON(f))
+			check(f.Close())
+			fmt.Fprintf(os.Stderr, "janus-bench: wrote %s (%d workers, open in https://ui.perfetto.dev)\n",
+				traceOut, tracer.Workers())
+		}
+	}
+	if jsonOut {
+		check(bench.WriteJSON(out, reports))
+		return
+	}
+	for _, rep := range reports {
+		fmt.Fprintf(out, "%s: detector=%s threads=%d tasks=%d commits=%d retries=%d speedup=%.2f\n",
+			rep.Workload, rep.Detector, rep.Threads, rep.Tasks, rep.Run.Commits, rep.Run.Retries, rep.Speedup)
+		if len(rep.Run.AbortReasons) > 0 {
+			fmt.Fprintf(out, "  abort reasons: %v\n", rep.Run.AbortReasons)
+		}
 	}
 }
 

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/conflict"
+	"repro/internal/obs"
+	"repro/internal/stm"
+	"repro/internal/workloads"
+)
+
+// RunReport is one profiled production run in machine-readable form:
+// the full protocol accounting (stm.Stats with the abort-reason
+// breakdown), conflict-detector accounting, commutativity-cache
+// accounting, and wall-clock timing. This is the JSON shape BENCH_*.json
+// trajectory entries use, so perf PRs leave a comparable regression
+// trail.
+type RunReport struct {
+	Workload     string         `json:"workload"`
+	Detector     string         `json:"detector"`
+	Threads      int            `json:"threads"`
+	Size         string         `json:"size"`
+	Tasks        int            `json:"tasks"`
+	SequentialNs int64          `json:"sequential_ns"`
+	ElapsedNs    int64          `json:"elapsed_ns"`
+	Speedup      float64        `json:"speedup"`
+	Run          stm.Stats      `json:"run"`
+	Conflict     conflict.Stats `json:"conflict"`
+	Cache        cache.Stats    `json:"cache"`
+	// Trace summarizes the attached tracer (event counts, latency
+	// histograms) when one was supplied.
+	Trace map[string]any `json:"trace,omitempty"`
+}
+
+// ProfileRun trains the hindsight engine for w (unless the write-set
+// baseline is selected), executes one wall-clock production run with the
+// given tracer attached, and returns the full accounting. tracer may be
+// nil for untraced JSON reports.
+func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, tracer *obs.Trace) (RunReport, error) {
+	o = o.defaults()
+	tasks := w.Tasks(o.Size, prodSeed)
+	rep := RunReport{
+		Workload: w.Name,
+		Detector: det.String(),
+		Threads:  threads,
+		Size:     o.Size.String(),
+		Tasks:    len(tasks),
+	}
+
+	engine, err := trainEngine(w, false)
+	if err != nil {
+		return RunReport{}, fmt.Errorf("bench: training %s: %w", w.Name, err)
+	}
+	engine.Cache().ResetStats()
+
+	seqStart := time.Now()
+	if _, err := stm.RunSequential(w.NewState(), tasks); err != nil {
+		return RunReport{}, fmt.Errorf("bench: sequential %s: %w", w.Name, err)
+	}
+	rep.SequentialNs = int64(time.Since(seqStart))
+
+	d := o.detectorFor(engine, det)
+	var tr obs.Tracer
+	if tracer != nil {
+		tr = tracer
+	}
+	start := time.Now()
+	_, stats, err := stm.Run(stm.Config{
+		Threads:   threads,
+		Ordered:   w.Ordered,
+		Detector:  d,
+		Privatize: stm.PrivatizePersistent,
+		Tracer:    tr,
+	}, w.NewState(), tasks)
+	if err != nil {
+		return RunReport{}, fmt.Errorf("bench: %s/%s/%d: %w", w.Name, det, threads, err)
+	}
+	rep.ElapsedNs = int64(time.Since(start))
+	if rep.ElapsedNs > 0 {
+		rep.Speedup = float64(rep.SequentialNs) / float64(rep.ElapsedNs)
+	}
+	rep.Run = stats
+	switch dd := d.(type) {
+	case *conflict.WriteSet:
+		rep.Conflict = dd.Stats()
+	case *conflict.Sequence:
+		rep.Conflict = dd.Stats()
+	}
+	rep.Cache = engine.Cache().Stats()
+	if tracer != nil {
+		rep.Trace = tracer.Vars()
+	}
+	return rep, nil
+}
+
+// WriteJSON renders reports as indented JSON (an array, one element per
+// profiled run).
+func WriteJSON(out io.Writer, reports []RunReport) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}

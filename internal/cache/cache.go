@@ -72,6 +72,15 @@ func (c *Cache) Put(s1, s2 []oplog.Sym, kind commute.ConditionKind) {
 // the pair's shape; on a miss the caller must fall back to write-set
 // detection. Hit/miss statistics are recorded per unique key.
 func (c *Cache) Lookup(s1, s2 []oplog.Sym) (conflict, hit bool) {
+	conflict, _, hit = c.LookupDetail(s1, s2)
+	return conflict, hit
+}
+
+// LookupDetail is Lookup with abort-reason attribution: on a conflicting
+// hit, failed names the check of the cached condition that rejected the
+// pair (same-read, commute, or theory when the instance left the
+// condition's theory and the answer is conservative).
+func (c *Cache) LookupDetail(s1, s2 []oplog.Sym) (conflict bool, failed commute.Check, hit bool) {
 	key := c.Key(s1, s2)
 	c.mu.Lock()
 	kind, ok := c.entries[key]
@@ -82,15 +91,15 @@ func (c *Cache) Lookup(s1, s2 []oplog.Sym) (conflict, hit bool) {
 	}
 	c.mu.Unlock()
 	if !ok {
-		return true, false
+		return true, commute.CheckNone, false
 	}
-	conflict, evalOK := commute.Evaluate(kind, s1, s2)
+	conflict, failed, evalOK := commute.EvaluateDetail(kind, s1, s2)
 	if !evalOK {
 		// Shape matched but the instance left the theory (should not
 		// happen with consistent abstraction); be conservative.
-		return true, true
+		return true, commute.CheckTheory, true
 	}
-	return conflict, true
+	return conflict, failed, true
 }
 
 // Len returns the number of cached shape pairs.

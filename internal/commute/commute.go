@@ -97,30 +97,82 @@ func loadOnly(s []oplog.Sym) bool {
 	return len(s) > 0
 }
 
+// Check identifies which leg of the per-location CONFLICT judgment
+// (Figure 8) failed, for abort-reason attribution in the observability
+// layer.
+type Check int
+
+// Checks.
+const (
+	// CheckNone: no check failed (the pair commutes).
+	CheckNone Check = iota
+	// CheckSameRead: a SAMEREAD precondition failed — some read of one
+	// sequence would observe a different value after the other's effect.
+	CheckSameRead
+	// CheckCommute: the final COMMUTE test failed — the composite
+	// effects do not commute.
+	CheckCommute
+	// CheckTheory: the sequences fell outside the cached condition's
+	// theory (malformed query; callers answer conservatively).
+	CheckTheory
+)
+
+// String renders the check name.
+func (c Check) String() string {
+	switch c {
+	case CheckSameRead:
+		return "same-read"
+	case CheckCommute:
+		return "commute"
+	case CheckTheory:
+		return "theory"
+	default:
+		return "none"
+	}
+}
+
 // Evaluate runs the cached condition on a concrete sequence pair,
 // reporting whether the pair conflicts. ok is false when the sequences do
 // not actually fit the condition's theory (a malformed query; callers must
 // then fall back conservatively).
 func Evaluate(kind ConditionKind, s1, s2 []oplog.Sym) (conflict, ok bool) {
+	conflict, _, ok = EvaluateDetail(kind, s1, s2)
+	return conflict, ok
+}
+
+// EvaluateDetail is Evaluate with attribution: when the pair conflicts,
+// failed names the first check of the Figure 8 judgment that rejected it.
+func EvaluateDetail(kind ConditionKind, s1, s2 []oplog.Sym) (conflict bool, failed Check, ok bool) {
 	switch kind {
 	case CondAlways:
-		return false, true
+		return false, CheckNone, true
 	case CondRegister:
 		a1, ok1 := seqeff.AnalyzeRegister(s1)
 		a2, ok2 := seqeff.AnalyzeRegister(s2)
 		if !ok1 || !ok2 {
-			return true, false
+			return true, CheckTheory, false
 		}
-		return seqeff.PairConflicts(a1, a2), true
+		if !seqeff.SameRead(a1, a2.Eff) || !seqeff.SameRead(a2, a1.Eff) {
+			return true, CheckSameRead, true
+		}
+		if !seqeff.Commute(a1.Eff, a2.Eff) {
+			return true, CheckCommute, true
+		}
+		return false, CheckNone, true
 	case CondStackIdentity:
 		a1, ok1 := seqeff.AnalyzeStack(s1)
 		a2, ok2 := seqeff.AnalyzeStack(s2)
 		if !ok1 || !ok2 {
-			return true, false
+			return true, CheckTheory, false
 		}
-		return seqeff.StackPairConflicts(a1, a2), true
+		// Balance is the stack identity condition: an unbalanced
+		// sequence's composite effect fails COMMUTE.
+		if seqeff.StackPairConflicts(a1, a2) {
+			return true, CheckCommute, true
+		}
+		return false, CheckNone, true
 	default:
-		return true, false
+		return true, CheckTheory, false
 	}
 }
 

@@ -13,14 +13,84 @@
 package conflict
 
 import (
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/commute"
+	"repro/internal/obs"
 	"repro/internal/oplog"
 	"repro/internal/seqeff"
 	"repro/internal/state"
 )
+
+// Reason classifies why a detector rejected a transaction — which check
+// of the detection pipeline failed. It drives the abort-reason breakdown
+// of Stats and the EvTxAbort attribution in traces, so Figure 10-style
+// tables can distinguish sequence-check failures from write-set
+// fallbacks.
+type Reason uint8
+
+// Abort reasons.
+const (
+	// ReasonNone: no conflict.
+	ReasonNone Reason = iota
+	// ReasonWriteSet: the plain write-set rule fired — the baseline
+	// detector, or the sequence detector's cache-miss fallback.
+	ReasonWriteSet
+	// ReasonSameRead: a SAMEREAD precondition of the Figure 8 judgment
+	// failed.
+	ReasonSameRead
+	// ReasonCommute: the final COMMUTE test failed.
+	ReasonCommute
+	// ReasonRelaxation: the residual check of a relaxation-aware query
+	// (§5.3) failed.
+	ReasonRelaxation
+	// ReasonWildcard: a whole-relation extent access forced the
+	// conservative write-set rule.
+	ReasonWildcard
+	// ReasonTheory: a cached condition's theory did not cover the
+	// concrete pair (answered conservatively).
+	ReasonTheory
+	// ReasonOnline: the concrete online sequence check found a conflict.
+	ReasonOnline
+
+	// NumReasons bounds per-reason counter arrays.
+	NumReasons
+)
+
+// String renders the reason as it appears in stats maps and traces.
+func (r Reason) String() string {
+	switch r {
+	case ReasonWriteSet:
+		return "write-set"
+	case ReasonSameRead:
+		return "same-read"
+	case ReasonCommute:
+		return "commute"
+	case ReasonRelaxation:
+		return "relaxation"
+	case ReasonWildcard:
+		return "wildcard"
+	case ReasonTheory:
+		return "theory"
+	case ReasonOnline:
+		return "online"
+	default:
+		return "none"
+	}
+}
+
+// Verdict is one detection outcome with attribution: on a conflict, the
+// failed check, the conflicting projection-location pair (P from the
+// running transaction, Q from the committed one), and — when tracing is
+// enabled — the symbolic shapes of the two per-location sequences.
+type Verdict struct {
+	Conflict       bool
+	Reason         Reason
+	P, Q           oplog.PLoc
+	ShapeT, ShapeC string
+}
 
 // Detector decides whether a transaction conflicts with its conflict
 // history — the logs of the transactions that committed while it ran, one
@@ -34,7 +104,13 @@ import (
 // transaction that passes the checks against each committed transaction
 // individually passes them against their concatenation.
 type Detector interface {
+	// Detect reports whether the transaction conflicts.
 	Detect(snapshot *state.State, txn oplog.Log, committed []oplog.Log) bool
+	// DetectV is Detect with observability: the returned Verdict carries
+	// abort-reason attribution, and detection-internal events (cache
+	// hits, misses, fallbacks) are emitted through ctx. A zero Ctx
+	// disables tracing at no cost.
+	DetectV(ctx obs.Ctx, snapshot *state.State, txn oplog.Log, committed []oplog.Log) Verdict
 	Name() string
 }
 
@@ -45,6 +121,31 @@ type Stats struct {
 	PairQueries   int64 // per-location sequence queries (sequence detector)
 	Fallbacks     int64 // queries answered by the write-set fallback
 	RelaxedChecks int64 // queries answered by a relaxation-aware check
+	// Reasons is the abort-reason breakdown: for each reason (by its
+	// String name), how many Detect calls failed on that check.
+	Reasons map[string]int64
+}
+
+// reasonCounts is a fixed atomic counter array indexed by Reason.
+type reasonCounts [NumReasons]int64
+
+func (rc *reasonCounts) add(r Reason) {
+	atomic.AddInt64(&rc[r], 1)
+}
+
+// snapshot renders the non-zero counters as a reason → count map, or nil
+// when no conflicts were recorded.
+func (rc *reasonCounts) snapshot() map[string]int64 {
+	var out map[string]int64
+	for r := Reason(1); r < NumReasons; r++ {
+		if n := atomic.LoadInt64(&rc[r]); n > 0 {
+			if out == nil {
+				out = make(map[string]int64)
+			}
+			out[r.String()] = n
+		}
+	}
+	return out
 }
 
 // --- Write-set detection ---
@@ -52,7 +153,8 @@ type Stats struct {
 // WriteSet is the traditional detector: two transactions conflict iff they
 // mutually access a location and at least one of the accesses is a write.
 type WriteSet struct {
-	stats Stats
+	stats   Stats
+	reasons reasonCounts
 }
 
 // NewWriteSet returns the baseline detector.
@@ -66,20 +168,27 @@ func (w *WriteSet) Stats() Stats {
 	return Stats{
 		Detections: atomic.LoadInt64(&w.stats.Detections),
 		Conflicts:  atomic.LoadInt64(&w.stats.Conflicts),
+		Reasons:    w.reasons.snapshot(),
 	}
 }
 
 // Detect implements Detector.
-func (w *WriteSet) Detect(_ *state.State, txn oplog.Log, committed []oplog.Log) bool {
+func (w *WriteSet) Detect(snapshot *state.State, txn oplog.Log, committed []oplog.Log) bool {
+	return w.DetectV(obs.Ctx{}, snapshot, txn, committed).Conflict
+}
+
+// DetectV implements Detector.
+func (w *WriteSet) DetectV(_ obs.Ctx, _ *state.State, txn oplog.Log, committed []oplog.Log) Verdict {
 	atomic.AddInt64(&w.stats.Detections, 1)
 	mt := accessModes(txn)
 	for _, c := range committed {
-		if pairConflictsWriteSet(mt, accessModes(c), nil) {
+		if p, q, hit := findWriteSetConflict(mt, accessModes(c), nil); hit {
 			atomic.AddInt64(&w.stats.Conflicts, 1)
-			return true
+			w.reasons.add(ReasonWriteSet)
+			return Verdict{Conflict: true, Reason: ReasonWriteSet, P: p, Q: q}
 		}
 	}
-	return false
+	return Verdict{}
 }
 
 // mode aggregates how a log touches one projection location.
@@ -103,17 +212,24 @@ func accessModes(l oplog.Log) map[oplog.PLoc]mode {
 // pairConflictsWriteSet applies the write-set rule over every overlapping
 // projection-location pair, honoring relaxations when non-nil.
 func pairConflictsWriteSet(mt, mc map[oplog.PLoc]mode, relax *Relaxations) bool {
+	_, _, hit := findWriteSetConflict(mt, mc, relax)
+	return hit
+}
+
+// findWriteSetConflict is pairConflictsWriteSet returning the first
+// conflicting projection-location pair for abort attribution.
+func findWriteSetConflict(mt, mc map[oplog.PLoc]mode, relax *Relaxations) (oplog.PLoc, oplog.PLoc, bool) {
 	for p, tm := range mt {
 		for q, cm := range mc {
 			if !p.Overlaps(q) {
 				continue
 			}
 			if writeSetConflict(p, tm, cm, relax) {
-				return true
+				return p, q, true
 			}
 		}
 	}
-	return false
+	return "", "", false
 }
 
 func writeSetConflict(p oplog.PLoc, a, b mode, relax *Relaxations) bool {
@@ -204,7 +320,8 @@ type Sequence struct {
 	// execution.
 	InferWAW bool
 
-	stats Stats
+	stats   Stats
+	reasons reasonCounts
 }
 
 // NewSequence returns a sequence detector over the given trained cache.
@@ -223,13 +340,22 @@ func (s *Sequence) Stats() Stats {
 		PairQueries:   atomic.LoadInt64(&s.stats.PairQueries),
 		Fallbacks:     atomic.LoadInt64(&s.stats.Fallbacks),
 		RelaxedChecks: atomic.LoadInt64(&s.stats.RelaxedChecks),
+		Reasons:       s.reasons.snapshot(),
 	}
 }
 
-// Detect implements Detector, realizing DETECTCONFLICTS of Figure 8: the
+// Detect implements Detector.
+func (s *Sequence) Detect(snapshot *state.State, txn oplog.Log, committed []oplog.Log) bool {
+	return s.DetectV(obs.Ctx{}, snapshot, txn, committed).Conflict
+}
+
+// DetectV implements Detector, realizing DETECTCONFLICTS of Figure 8: the
 // transaction's log and each committed transaction's log are decomposed
 // into per-location subsequences, and every overlapping pair is checked.
-func (s *Sequence) Detect(snapshot *state.State, txn oplog.Log, committed []oplog.Log) bool {
+// Cache hits, misses, and fallbacks are emitted through ctx; a conflict
+// verdict carries the failed check, the location pair, and (when tracing
+// is enabled) the symbolic shape pair.
+func (s *Sequence) DetectV(ctx obs.Ctx, snapshot *state.State, txn oplog.Log, committed []oplog.Log) Verdict {
 	atomic.AddInt64(&s.stats.Detections, 1)
 	mt := oplog.Decompose(txn)
 	for _, c := range committed {
@@ -240,56 +366,105 @@ func (s *Sequence) Detect(snapshot *state.State, txn oplog.Log, committed []oplo
 					continue
 				}
 				atomic.AddInt64(&s.stats.PairQueries, 1)
-				if s.pairConflicts(snapshot, p, q, seqT, seqC) {
+				if v := s.pairVerdict(ctx, snapshot, p, q, seqT, seqC); v.Conflict {
 					atomic.AddInt64(&s.stats.Conflicts, 1)
-					return true
+					s.reasons.add(v.Reason)
+					if ctx.Enabled() {
+						v.ShapeT, v.ShapeC = symsString(seqT.Syms()), symsString(seqC.Syms())
+					}
+					return v
 				}
 			}
 		}
 	}
-	return false
+	return Verdict{}
 }
 
-// pairConflicts answers one per-location query.
-func (s *Sequence) pairConflicts(snapshot *state.State, p, q oplog.PLoc, seqT, seqC oplog.Log) bool {
+// reasonForCheck maps a failed commutativity check to an abort reason.
+func reasonForCheck(c commute.Check) Reason {
+	switch c {
+	case commute.CheckSameRead:
+		return ReasonSameRead
+	case commute.CheckCommute:
+		return ReasonCommute
+	case commute.CheckTheory:
+		return ReasonTheory
+	default:
+		return ReasonWriteSet
+	}
+}
+
+// pairVerdict answers one per-location query.
+func (s *Sequence) pairVerdict(ctx obs.Ctx, snapshot *state.State, p, q oplog.PLoc, seqT, seqC oplog.Log) Verdict {
+	conflict := func(r Reason) Verdict { return Verdict{Conflict: true, Reason: r, P: p, Q: q} }
 	// Wildcard-extent pairs (whole-relation observations) are outside the
 	// per-key sequence theories: conservative write-set rule.
 	if p.IsWildcard() || q.IsWildcard() {
 		atomic.AddInt64(&s.stats.Fallbacks, 1)
-		return s.fallback(seqT, seqC)
+		if s.fallback(seqT, seqC) {
+			return conflict(ReasonWildcard)
+		}
+		return Verdict{}
 	}
 	loc := p.Loc()
 	if s.Relax.Any(loc) {
 		atomic.AddInt64(&s.stats.RelaxedChecks, 1)
-		return s.relaxedConflicts(loc, seqT, seqC)
+		if hit, reason := s.relaxedConflicts(loc, seqT, seqC); hit {
+			return conflict(reason)
+		}
+		return Verdict{}
 	}
 	if s.InferWAW && !s.inferWAWConflicts(seqT, seqC) {
-		return false
+		return Verdict{}
 	}
 	if s.Cache != nil {
 		symsT, symsC := seqT.Syms(), seqC.Syms()
-		conflict, hit := s.Cache.Lookup(symsT, symsC)
+		hitConflict, failed, hit := s.Cache.LookupDetail(symsT, symsC)
 		if hit {
-			return conflict
+			ctx.Cache(obs.EvCacheHit, string(p), "")
+			if hitConflict {
+				return conflict(reasonForCheck(failed))
+			}
+			return Verdict{}
 		}
+		ctx.Cache(obs.EvCacheMiss, string(p), "")
 		if s.LearnOnline {
 			if kind := commute.Prove(symsT, symsC); kind != commute.CondNone {
 				s.Cache.Put(symsT, symsC, kind)
-				if conflict, ok := commute.Evaluate(kind, symsT, symsC); ok {
-					return conflict
+				if learned, failed, ok := commute.EvaluateDetail(kind, symsT, symsC); ok {
+					if learned {
+						return conflict(reasonForCheck(failed))
+					}
+					return Verdict{}
 				}
 			}
 		}
 	}
 	// Miss: concrete online check or write-set fallback.
 	if s.Online && snapshot != nil {
-		conflict, err := commute.ConflictConcrete(snapshot, p, seqT, seqC)
+		hit, err := commute.ConflictConcrete(snapshot, p, seqT, seqC)
 		if err == nil {
-			return conflict
+			if hit {
+				return conflict(ReasonOnline)
+			}
+			return Verdict{}
 		}
 	}
 	atomic.AddInt64(&s.stats.Fallbacks, 1)
-	return s.fallback(seqT, seqC)
+	ctx.Cache(obs.EvCacheFallback, string(p), "")
+	if s.fallback(seqT, seqC) {
+		return conflict(ReasonWriteSet)
+	}
+	return Verdict{}
+}
+
+// symsString renders a symbolic sequence shape for trace attribution.
+func symsString(syms []oplog.Sym) string {
+	parts := make([]string, len(syms))
+	for i, s := range syms {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " ")
 }
 
 // inferWAWConflicts is the commit-order judgment behind InferWAW: the
@@ -317,31 +492,38 @@ func (s *Sequence) inferWAWConflicts(seqT, seqC oplog.Log) bool {
 // relaxedConflicts evaluates the Figure 8 checks with the location's
 // relaxations applied: tolerated RAW drops SAMEREAD, tolerated WAW drops
 // COMMUTE. Sequences outside both theories fall back to the relaxed
-// write-set rule.
-func (s *Sequence) relaxedConflicts(loc state.Loc, seqT, seqC oplog.Log) bool {
+// write-set rule. On a conflict the reason names the residual check that
+// failed.
+func (s *Sequence) relaxedConflicts(loc state.Loc, seqT, seqC oplog.Log) (bool, Reason) {
 	dropSame := s.Relax.TolerateRAW(loc)
 	dropCommute := s.Relax.TolerateWAW(loc)
 	symsT, symsC := seqT.Syms(), seqC.Syms()
 	if a1, ok := seqeff.AnalyzeRegister(symsT); ok {
 		if a2, ok := seqeff.AnalyzeRegister(symsC); ok {
 			if !dropSame && (!seqeff.SameRead(a1, a2.Eff) || !seqeff.SameRead(a2, a1.Eff)) {
-				return true
+				return true, ReasonSameRead
 			}
 			if !dropCommute && !seqeff.Commute(a1.Eff, a2.Eff) {
-				return true
+				return true, ReasonCommute
 			}
-			return false
+			return false, ReasonNone
 		}
 	}
 	if a1, ok := seqeff.AnalyzeStack(symsT); ok {
 		if a2, ok := seqeff.AnalyzeStack(symsC); ok {
 			if dropSame && dropCommute {
-				return false
+				return false, ReasonNone
 			}
-			return seqeff.StackPairConflicts(a1, a2)
+			if seqeff.StackPairConflicts(a1, a2) {
+				return true, ReasonCommute
+			}
+			return false, ReasonNone
 		}
 	}
-	return pairConflictsWriteSet(accessModes(seqT), accessModes(seqC), s.Relax)
+	if pairConflictsWriteSet(accessModes(seqT), accessModes(seqC), s.Relax) {
+		return true, ReasonRelaxation
+	}
+	return false, ReasonNone
 }
 
 // fallback applies the plain write-set rule to the pair's logs.

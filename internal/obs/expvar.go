@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// published guards expvar registration: expvar.Publish panics on
+// duplicate names, but callers (one Runner per run, tests) legitimately
+// re-publish. The snapshot source is swapped instead.
+var published struct {
+	sync.Mutex
+	traces map[string]*Trace
+}
+
+// Publish exports a trace's aggregate counters and histograms under
+// expvar name (default "janus.obs"). Re-publishing under the same name
+// atomically swaps the underlying trace, so each run's Runner can call
+// it without coordination. The exported value is a JSON object with
+// per-event-type counts, dropped-event count, and histogram summaries
+// for every span type.
+func Publish(name string, t *Trace) {
+	if name == "" {
+		name = "janus.obs"
+	}
+	published.Lock()
+	defer published.Unlock()
+	if published.traces == nil {
+		published.traces = make(map[string]*Trace)
+	}
+	if _, ok := published.traces[name]; !ok {
+		n := name
+		expvar.Publish(n, expvar.Func(func() any {
+			published.Lock()
+			tr := published.traces[n]
+			published.Unlock()
+			if tr == nil {
+				return nil
+			}
+			return tr.Vars()
+		}))
+	}
+	published.traces[name] = t
+}
+
+// Vars returns the trace's aggregate state as an expvar-friendly value.
+func (t *Trace) Vars() map[string]any {
+	out := map[string]any{
+		"dropped": t.Dropped(),
+		"workers": t.Workers(),
+	}
+	counts := map[string]int64{}
+	for ev := EventType(1); ev < numEventTypes; ev++ {
+		if n := t.Count(ev); n > 0 {
+			counts[ev.String()] = n
+		}
+	}
+	out["counts"] = counts
+	hists := map[string]any{}
+	for _, ev := range []EventType{EvTask, EvTxRun, EvTxValidate, EvTxCommit, EvCommitWait} {
+		h := t.Hist(ev)
+		if h.Count() == 0 {
+			continue
+		}
+		hists[ev.String()] = map[string]any{
+			"count":   h.Count(),
+			"mean_ns": int64(h.Mean()),
+			"p50_ns":  h.Quantile(0.50),
+			"p95_ns":  h.Quantile(0.95),
+			"p99_ns":  h.Quantile(0.99),
+			"buckets": h.Snapshot(),
+		}
+	}
+	out["hist"] = hists
+	return out
+}
+
+// Serve starts the debug HTTP endpoint on addr (e.g. ":6060") in a
+// background goroutine: /debug/vars (expvar, including published
+// traces) and /debug/pprof/*. It returns the bound address, useful when
+// addr has port 0. The listener stays open for the process lifetime —
+// the endpoint is a diagnostics tap, not a managed server.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRingConcurrentEmit drives parallel writers — several per lane —
+// and checks that no event is lost or torn: every emitted event comes
+// back with its fields intact and per-writer order preserved.
+func TestRingConcurrentEmit(t *testing.T) {
+	const (
+		workers = 4
+		writers = 2 // goroutines per worker lane (forces lane contention)
+		events  = 500
+	)
+	tr := NewTrace(workers * writers * events) // no wraparound
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		for g := 0; g < writers; g++ {
+			wg.Add(1)
+			go func(w, g int) {
+				defer wg.Done()
+				for i := 0; i < events; i++ {
+					// Task and Dur carry the same value so a torn
+					// write (fields from two events) is detectable.
+					tr.Emit(Event{
+						Type:    EvTxBegin,
+						When:    int64(g*events + i),
+						Dur:     int64(i),
+						Worker:  int32(w),
+						Task:    int32(i),
+						Attempt: int32(g),
+					})
+				}
+			}(w, g)
+		}
+	}
+	wg.Wait()
+
+	got := tr.Events()
+	if len(got) != workers*writers*events {
+		t.Fatalf("retained %d events, want %d", len(got), workers*writers*events)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped %d events, want 0", tr.Dropped())
+	}
+	// Torn-event check plus per-writer order: for each (worker, writer)
+	// stream the Task values must be exactly 0..events-1 in order.
+	next := map[[2]int32]int32{}
+	for _, e := range got {
+		if int64(e.Task) != e.Dur {
+			t.Fatalf("torn event: Task=%d Dur=%d", e.Task, e.Dur)
+		}
+		key := [2]int32{e.Worker, e.Attempt}
+		if e.Task != next[key] {
+			t.Fatalf("worker %d writer %d: got task %d, want %d (lost or reordered)",
+				e.Worker, e.Attempt, e.Task, next[key])
+		}
+		next[key]++
+	}
+	for key, n := range next {
+		if n != events {
+			t.Fatalf("stream %v delivered %d events, want %d", key, n, events)
+		}
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := NewTrace(8)
+	for i := 0; i < 20; i++ {
+		tr.Emit(Event{Type: EvTxBegin, When: int64(i), Task: int32(i)})
+	}
+	got := tr.Events()
+	if len(got) != 8 {
+		t.Fatalf("retained %d, want 8", len(got))
+	}
+	if tr.Dropped() != 12 {
+		t.Fatalf("dropped %d, want 12", tr.Dropped())
+	}
+	// The retained suffix must be the newest events, oldest first.
+	for i, e := range got {
+		if want := int32(12 + i); e.Task != want {
+			t.Fatalf("event %d: task %d, want %d", i, e.Task, want)
+		}
+	}
+	if tr.Count(EvTxBegin) != 20 {
+		t.Fatalf("count %d, want 20 (dropped events still counted)", tr.Count(EvTxBegin))
+	}
+}
+
+// TestDisabledCtxZeroAllocs pins the contract the stm hot path relies
+// on: with a nil tracer, every emission helper used on the
+// Exec/validate/commit path is allocation-free.
+func TestDisabledCtxZeroAllocs(t *testing.T) {
+	var ctx Ctx
+	allocs := testing.AllocsPerRun(1000, func() {
+		start := ctx.Now()
+		ctx.Instant(EvTxBegin)
+		ctx.Cache(EvCacheHit, "loc", "")
+		ctx.Abort("same-read", "loc", "")
+		ctx.End(EvTxValidate, start)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Sum() != 1000*1001/2 {
+		t.Fatalf("sum %d", h.Sum())
+	}
+	p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+	if p50 < 500-1 || p50 > 1023 {
+		t.Fatalf("p50 %d outside bucketed [499, 1023]", p50)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 %d < p50 %d", p99, p50)
+	}
+	if !strings.Contains(h.String(), "n=1000") {
+		t.Fatalf("summary %q", h.String())
+	}
+	h.Record(-5) // clamps, must not panic
+	if h.Count() != 1001 {
+		t.Fatalf("count after clamp %d", h.Count())
+	}
+}
+
+func TestHistogramsFedBySpans(t *testing.T) {
+	tr := NewTrace(16)
+	tr.Emit(Event{Type: EvTxValidate, When: 0, Dur: 1500})
+	tr.Emit(Event{Type: EvTxValidate, When: 10, Dur: 2500})
+	tr.Emit(Event{Type: EvTxAbort, When: 20}) // instant: no histogram
+	h := tr.Hist(EvTxValidate)
+	if h.Count() != 2 || h.Sum() != 4000 {
+		t.Fatalf("validate hist n=%d sum=%d, want 2/4000", h.Count(), h.Sum())
+	}
+	vars := tr.Vars()
+	if vars["counts"].(map[string]int64)["tx.abort"] != 1 {
+		t.Fatalf("vars counts = %v", vars["counts"])
+	}
+	if _, ok := vars["hist"].(map[string]any)["tx.validate"]; !ok {
+		t.Fatalf("vars hist missing tx.validate: %v", vars["hist"])
+	}
+}
+
+func TestPublishRepublish(t *testing.T) {
+	t1, t2 := NewTrace(8), NewTrace(8)
+	t1.Emit(Event{Type: EvTxBegin})
+	Publish("janus.test", t1)
+	Publish("janus.test", t2) // must not panic on duplicate name
+	t2.Emit(Event{Type: EvTxBegin})
+	t2.Emit(Event{Type: EvTxBegin})
+	published.Lock()
+	cur := published.traces["janus.test"]
+	published.Unlock()
+	if cur != t2 {
+		t.Fatal("republish did not swap the trace")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Emit(Event{Type: EvTask, Dur: 100, Worker: 0})
+	tr.Reset()
+	if len(tr.Events()) != 0 || tr.Count(EvTask) != 0 || tr.Hist(EvTask).Count() != 0 {
+		t.Fatal("reset left state behind")
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLaneCap is the default per-worker ring capacity.
+const DefaultLaneCap = 1 << 16
+
+// Trace is the standard Tracer: a set of per-worker ring buffers plus
+// per-event-type counters and per-span-type latency histograms. Each
+// worker writes to its own lane behind its own mutex, so emission never
+// contends across workers; when a lane fills, the oldest events are
+// overwritten and counted in Dropped.
+type Trace struct {
+	epoch   time.Time
+	laneCap int
+
+	mu    sync.RWMutex
+	lanes []*lane // index = worker+1; lane 0 collects Worker == -1
+
+	dropped atomic.Int64
+	counts  [numEventTypes]atomic.Int64
+	hists   [numEventTypes]Hist
+}
+
+// lane is one worker's ring.
+type lane struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+}
+
+// NewTrace returns a Trace whose per-worker rings hold laneCap events
+// each (DefaultLaneCap when laneCap <= 0). The epoch is now.
+func NewTrace(laneCap int) *Trace {
+	if laneCap <= 0 {
+		laneCap = DefaultLaneCap
+	}
+	return &Trace{epoch: time.Now(), laneCap: laneCap}
+}
+
+// Now implements Tracer.
+func (t *Trace) Now() int64 { return epochNow(t.epoch) }
+
+// Emit implements Tracer.
+func (t *Trace) Emit(e Event) {
+	t.counts[e.Type].Add(1)
+	if e.Dur > 0 {
+		t.hists[e.Type].Record(e.Dur)
+	}
+	l := t.lane(int(e.Worker) + 1)
+	l.mu.Lock()
+	if l.wrapped {
+		t.dropped.Add(1)
+	}
+	l.buf[l.next] = e
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.wrapped = true
+	}
+	l.mu.Unlock()
+}
+
+// lane returns the ring at index i, growing the lane table on demand.
+func (t *Trace) lane(i int) *lane {
+	if i < 0 {
+		i = 0
+	}
+	t.mu.RLock()
+	if i < len(t.lanes) {
+		l := t.lanes[i]
+		t.mu.RUnlock()
+		return l
+	}
+	t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.lanes) <= i {
+		t.lanes = append(t.lanes, &lane{buf: make([]Event, t.laneCap)})
+	}
+	return t.lanes[i]
+}
+
+// Dropped returns the number of events overwritten by ring wraparound.
+func (t *Trace) Dropped() int64 { return t.dropped.Load() }
+
+// Count returns how many events of the given type were emitted
+// (including any later dropped).
+func (t *Trace) Count(ev EventType) int64 { return t.counts[ev].Load() }
+
+// Hist returns the latency histogram for a span event type (validation
+// time for EvTxValidate, task service time for EvTask, and so on).
+func (t *Trace) Hist(ev EventType) *Hist { return &t.hists[ev] }
+
+// Workers returns the number of worker lanes seen so far.
+func (t *Trace) Workers() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.lanes) == 0 {
+		return 0
+	}
+	return len(t.lanes) - 1
+}
+
+// Events returns the retained events of every lane merged into one
+// timeline ordered by When (ties keep lane order). The result is a copy;
+// the trace may keep recording.
+func (t *Trace) Events() []Event {
+	t.mu.RLock()
+	lanes := make([]*lane, len(t.lanes))
+	copy(lanes, t.lanes)
+	t.mu.RUnlock()
+	var out []Event
+	for _, l := range lanes {
+		l.mu.Lock()
+		if l.wrapped {
+			out = append(out, l.buf[l.next:]...)
+		}
+		out = append(out, l.buf[:l.next]...)
+		l.mu.Unlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].When < out[j].When })
+	return out
+}
+
+// Reset drops all retained events and zeroes counters and histograms,
+// keeping the epoch so timestamps stay comparable across runs.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	t.lanes = nil
+	t.mu.Unlock()
+	t.dropped.Store(0)
+	for i := range t.counts {
+		t.counts[i].Store(0)
+		t.hists[i].reset()
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/adt"
 	"repro/internal/conflict"
+	"repro/internal/obs"
 	"repro/internal/oplog"
 	"repro/internal/persist"
 	"repro/internal/state"
@@ -65,6 +66,11 @@ type Config struct {
 	// paper notes its prototype "doesn't reclaim the logs of garbage
 	// transactions"; this implements that engineering improvement.
 	ReclaimLogs bool
+	// Tracer receives protocol events (task/transaction spans, abort
+	// reasons, commit waits) when non-nil; see internal/obs. A nil
+	// tracer costs a single branch per event site — the hot path does
+	// not allocate.
+	Tracer obs.Tracer
 }
 
 // Stats reports a run's behavior.
@@ -75,6 +81,9 @@ type Stats struct {
 	Conflicts int64 // conflict detections that failed
 	Reclaimed int64 // history entries reclaimed
 	MaxHist   int64 // peak committed-history length
+	// AbortReasons breaks Conflicts down by the detector check that
+	// failed (reason name → count); nil when no conflicts occurred.
+	AbortReasons map[string]int64
 }
 
 // RetryRatio returns the Figure 10 metric: retries per transaction.
@@ -112,7 +121,10 @@ type Runtime struct {
 
 	commitCond *sync.Cond // broadcast on clock advance (ordered waits)
 
-	stats Stats
+	tracer obs.Tracer
+
+	stats        Stats
+	abortReasons [conflict.NumReasons]int64
 
 	errOnce sync.Once
 	err     error
@@ -130,6 +142,7 @@ func New(cfg Config, initial *state.State) *Runtime {
 	r := &Runtime{
 		cfg:      cfg,
 		detector: cfg.Detector,
+		tracer:   cfg.Tracer,
 		begins:   make(map[int]int64),
 		done:     make(chan struct{}),
 	}
@@ -204,15 +217,15 @@ func (r *Runtime) run(tasks []adt.Task) (*state.State, Stats, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < r.cfg.Threads; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for idx := range next {
 				if r.failed() {
 					return
 				}
-				r.runTask(tasks[idx], idx+1)
+				r.runTask(tasks[idx], idx+1, worker)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if r.err != nil {
@@ -222,7 +235,7 @@ func (r *Runtime) run(tasks []adt.Task) (*state.State, Stats, error) {
 }
 
 func (r *Runtime) statsSnapshot() Stats {
-	return Stats{
+	s := Stats{
 		Tasks:     r.stats.Tasks,
 		Commits:   atomic.LoadInt64(&r.stats.Commits),
 		Retries:   atomic.LoadInt64(&r.stats.Retries),
@@ -230,6 +243,15 @@ func (r *Runtime) statsSnapshot() Stats {
 		Reclaimed: atomic.LoadInt64(&r.stats.Reclaimed),
 		MaxHist:   atomic.LoadInt64(&r.stats.MaxHist),
 	}
+	for reason := conflict.Reason(1); reason < conflict.NumReasons; reason++ {
+		if n := atomic.LoadInt64(&r.abortReasons[reason]); n > 0 {
+			if s.AbortReasons == nil {
+				s.AbortReasons = make(map[string]int64)
+			}
+			s.AbortReasons[reason.String()] = n
+		}
+	}
+	return s
 }
 
 // finalState materializes the committed shared state.
@@ -245,20 +267,26 @@ func (r *Runtime) finalState() *state.State {
 	return r.shared.Clone()
 }
 
-// runTask is RUNTASK of Figure 7: retry until commit.
-func (r *Runtime) runTask(task adt.Task, tid int) {
+// runTask is RUNTASK of Figure 7: retry until commit. The whole service
+// time (all attempts through the successful commit) is traced as one
+// EvTask span on the worker's lane.
+func (r *Runtime) runTask(task adt.Task, tid, worker int) {
+	ctx := obs.Ctx{T: r.tracer, Worker: int32(worker), Task: int32(tid)}
+	start := ctx.Now()
 	retries := 0
 	for {
 		if r.failed() {
 			return
 		}
-		ok, err := r.attempt(task, tid)
+		ctx.Attempt = int32(retries + 1)
+		ok, err := r.attempt(ctx, task, tid)
 		if err != nil {
 			r.fail(fmt.Errorf("stm: task %d: %w", tid, err))
 			return
 		}
 		if ok {
 			atomic.AddInt64(&r.stats.Commits, 1)
+			ctx.End(obs.EvTask, start)
 			return
 		}
 		atomic.AddInt64(&r.stats.Retries, 1)
@@ -298,21 +326,26 @@ func (t *Tx) Log() oplog.Log { return t.log }
 
 // attempt executes one transaction attempt: CREATETRANSACTION,
 // RUNSEQUENTIAL, ordered wait, then the detect/commit loop.
-func (r *Runtime) attempt(task adt.Task, tid int) (committed bool, err error) {
+func (r *Runtime) attempt(ctx obs.Ctx, task adt.Task, tid int) (committed bool, err error) {
 	tx := r.createTransaction(tid)
 	defer r.dropBegin(tid)
+	ctx.Instant(obs.EvTxBegin)
 
+	runStart := ctx.Now()
 	if err := task(tx); err != nil {
 		return false, err
 	}
+	ctx.End(obs.EvTxRun, runStart)
 
 	if r.cfg.Ordered {
 		// Wait until all preceding tasks committed: clock == tid.
+		waitStart := ctx.Now()
 		r.histMu.Lock()
 		for r.clock.Load() != int64(tid) && !r.failed() {
 			r.commitCond.Wait()
 		}
 		r.histMu.Unlock()
+		ctx.End(obs.EvCommitWait, waitStart)
 		if r.failed() {
 			return false, nil
 		}
@@ -327,14 +360,29 @@ func (r *Runtime) attempt(task adt.Task, tid int) (committed bool, err error) {
 		r.lock.RLock()
 		opsC = r.committedHistory(tx.begin, now)
 		r.lock.RUnlock()
-		if r.detector.Detect(tx.snap, tx.log, opsC) {
+		valStart := ctx.Now()
+		verdict := r.detector.DetectV(ctx, tx.snap, tx.log, opsC)
+		ctx.End(obs.EvTxValidate, valStart)
+		if verdict.Conflict {
 			atomic.AddInt64(&r.stats.Conflicts, 1)
+			atomic.AddInt64(&r.abortReasons[verdict.Reason], 1)
+			if ctx.Enabled() {
+				detail := ""
+				if verdict.ShapeT != "" || verdict.ShapeC != "" {
+					detail = "[" + verdict.ShapeT + "] vs [" + verdict.ShapeC + "]"
+				}
+				ctx.Abort(verdict.Reason.String(), string(verdict.P), detail)
+			}
 			return false, nil // abort; RUNTASK retries from scratch
 		}
+		commitStart := ctx.Now()
 		if r.commit(tx, now) {
+			ctx.End(obs.EvTxCommit, commitStart)
 			return true, nil
 		}
-		// History evolved between detection and commit: re-detect.
+		// History evolved between detection and commit: re-detect. The
+		// lost race is commit-queue contention, not a conflict.
+		ctx.End(obs.EvCommitWait, commitStart)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/adt"
 	"repro/internal/conflict"
+	"repro/internal/obs"
 	"repro/internal/oplog"
 	"repro/internal/seqabs"
 	"repro/internal/state"
@@ -235,6 +236,10 @@ func (a *alwaysConflict) Detect(_ *state.State, _ oplog.Log, _ []oplog.Log) bool
 	return true
 }
 
+func (a *alwaysConflict) DetectV(_ obs.Ctx, _ *state.State, _ oplog.Log, _ []oplog.Log) conflict.Verdict {
+	return conflict.Verdict{Conflict: true, Reason: conflict.ReasonWriteSet}
+}
+
 func (a *alwaysConflict) Name() string { return "always-conflict" }
 
 func TestReclaimLogs(t *testing.T) {
@@ -329,5 +334,47 @@ func TestReplayFailureSurfaces(t *testing.T) {
 	_, _, err := Run(Config{Threads: 1}, st, []adt.Task{task})
 	if err == nil || !strings.Contains(err.Error(), "replay exploded") {
 		t.Fatalf("err = %v, want replay failure", err)
+	}
+}
+
+// TestDisabledTracingAddsNoAllocs pins the observability contract from
+// the runtime's side: the full instrumentation sequence attempt() wraps
+// around Exec/validate/commit costs zero extra allocations when no
+// tracer is configured (the zero obs.Ctx, exactly what runTask builds
+// for a nil Config.Tracer).
+func TestDisabledTracingAddsNoAllocs(t *testing.T) {
+	st := state.New()
+	st.Set("work", state.Int(0))
+	op := adt.NumAddOp{L: "work", Delta: 1}
+	newTx := func() *Tx {
+		return &Tx{priv: st.Clone(), snap: st.Clone(), log: make(oplog.Log, 0, 4)}
+	}
+
+	txBase := newTx()
+	base := testing.AllocsPerRun(500, func() {
+		txBase.log = txBase.log[:0]
+		if _, err := txBase.Exec(op); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	txObs := newTx()
+	var ctx obs.Ctx
+	instrumented := testing.AllocsPerRun(500, func() {
+		txObs.log = txObs.log[:0]
+		start := ctx.Now()
+		ctx.Instant(obs.EvTxBegin)
+		if _, err := txObs.Exec(op); err != nil {
+			t.Fatal(err)
+		}
+		ctx.End(obs.EvTxRun, start)
+		ctx.End(obs.EvTxValidate, start)
+		ctx.Abort("write-set", "work", "")
+		ctx.End(obs.EvTxCommit, start)
+	})
+
+	if instrumented != base {
+		t.Fatalf("disabled tracing changed hot-path allocations: base=%.1f, instrumented=%.1f",
+			base, instrumented)
 	}
 }

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/adt"
 	"repro/internal/conflict"
+	"repro/internal/obs"
 	"repro/internal/oplog"
 	"repro/internal/persist"
 	"repro/internal/state"
@@ -134,6 +135,9 @@ type Stats struct {
 	Commits   int64
 	Retries   int64
 	Conflicts int64
+	// AbortReasons breaks Conflicts down by the detector check that
+	// failed (reason name → count); nil when no conflicts occurred.
+	AbortReasons map[string]int64
 	// Makespan is the virtual completion time of the parallel run.
 	Makespan float64
 	// SeqCost is the virtual cost of the sequential baseline.
@@ -394,9 +398,13 @@ func (r *runner) process(e *event) error {
 	}
 	detectCost := r.cost.DetectPerOp * float64(len(e.tx.log)+windowOps)
 	t := e.time + detectCost
-	if r.detector.Detect(e.tx.snap, e.tx.log, committed) {
+	if v := r.detector.DetectV(obs.Ctx{}, e.tx.snap, e.tx.log, committed); v.Conflict {
 		r.stats.Conflicts++
 		r.stats.Retries++
+		if r.stats.AbortReasons == nil {
+			r.stats.AbortReasons = make(map[string]int64)
+		}
+		r.stats.AbortReasons[v.Reason.String()]++
 		if r.cfg.MaxRetries > 0 && e.retries+1 >= r.cfg.MaxRetries {
 			return fmt.Errorf("vtime: task %d exceeded %d retries", e.tid, r.cfg.MaxRetries)
 		}

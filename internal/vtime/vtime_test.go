@@ -8,6 +8,7 @@ import (
 	"repro/internal/adt"
 	"repro/internal/conflict"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/oplog"
 	"repro/internal/state"
 	"repro/internal/stm"
@@ -249,7 +250,10 @@ func TestMaxRetriesGuard(t *testing.T) {
 type alwaysConflict struct{}
 
 func (alwaysConflict) Detect(*state.State, oplog.Log, []oplog.Log) bool { return true }
-func (alwaysConflict) Name() string                                     { return "always" }
+func (alwaysConflict) DetectV(obs.Ctx, *state.State, oplog.Log, []oplog.Log) conflict.Verdict {
+	return conflict.Verdict{Conflict: true, Reason: conflict.ReasonWriteSet}
+}
+func (alwaysConflict) Name() string { return "always" }
 
 func TestInvalidThreads(t *testing.T) {
 	if _, _, err := Run(Config{}, initialState(), nil); err == nil {

@@ -43,6 +43,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/conflict"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/relspec"
 	"repro/internal/state"
@@ -83,6 +84,15 @@ type (
 	// Relaxations declares tolerable RAW/WAW conflicts per location (§5.3).
 	Relaxations = conflict.Relaxations
 
+	// Trace is a per-worker ring-buffer event recorder; pass one in
+	// Config.Trace to capture a run's timeline, then export it with
+	// WriteChromeJSON (opens in Perfetto / chrome://tracing).
+	Trace = obs.Trace
+	// TraceEvent is one recorded timeline entry.
+	TraceEvent = obs.Event
+	// AbortReason classifies why a detector rejected a transaction.
+	AbortReason = conflict.Reason
+
 	// CustomSpec declares a user-defined ADT's relational representation
 	// (§6.1): arbitrary columns with an optional functional dependency
 	// whose domain names the key columns.
@@ -95,6 +105,10 @@ type (
 
 // NewState returns an empty shared store.
 func NewState() *State { return state.New() }
+
+// NewTrace returns an event recorder whose per-worker ring buffers hold
+// laneCap events each (a generous default when laneCap <= 0).
+func NewTrace(laneCap int) *Trace { return obs.NewTrace(laneCap) }
 
 // NewRelaxations builds a consistency-relaxation specification from the
 // locations whose read-after-write (raw) and write-after-write (waw)
@@ -228,19 +242,32 @@ type Config struct {
 	// SkipTrainingVerify disables training-time verification (concrete
 	// Figure 8 validation and SAT equivalence checks).
 	SkipTrainingVerify bool
+	// Trace, when non-nil, records every run's protocol events (task
+	// spans, validations, commits, aborts with reasons, cache queries)
+	// into per-worker ring buffers; see RunStats.Timeline and
+	// Trace.WriteChromeJSON. Nil disables tracing at no cost.
+	Trace *Trace
+	// Observe, when non-empty, starts a debug HTTP endpoint on the
+	// address (e.g. ":6060") serving /debug/vars (expvar, including the
+	// trace's counters and latency histograms) and /debug/pprof. Check
+	// DebugAddr for the bound address and any bind error.
+	Observe string
 }
 
 // Runner is a configured JANUS instance: train it once, then run task
 // sets in parallel. The zero Config gives sequence-based detection with
 // abstraction on.
 type Runner struct {
-	cfg    Config
-	engine *core.Engine
+	cfg     Config
+	engine  *core.Engine
+	obsAddr string
+	obsErr  error
 }
 
-// New builds a Runner.
+// New builds a Runner. When cfg.Observe is set, the debug endpoint is
+// started immediately and the trace (if any) is published to expvar.
 func New(cfg Config) *Runner {
-	return &Runner{cfg: cfg, engine: core.NewEngine(core.Options{
+	r := &Runner{cfg: cfg, engine: core.NewEngine(core.Options{
 		DisableAbstraction: cfg.DisableAbstraction,
 		Online:             cfg.Online,
 		LearnOnline:        cfg.LearnOnline,
@@ -248,7 +275,18 @@ func New(cfg Config) *Runner {
 		Relax:              cfg.Relax,
 		SkipVerify:         cfg.SkipTrainingVerify,
 	})}
+	if cfg.Trace != nil {
+		obs.Publish("janus.obs", cfg.Trace)
+	}
+	if cfg.Observe != "" {
+		r.obsAddr, r.obsErr = obs.Serve(cfg.Observe)
+	}
+	return r
 }
+
+// DebugAddr returns the bound address of the Config.Observe debug
+// endpoint, or the error that prevented it from starting.
+func (r *Runner) DebugAddr() (string, error) { return r.obsAddr, r.obsErr }
 
 // Train profiles the payload sequentially (no synchronization) from the
 // given initial state and folds the learned commutativity conditions into
@@ -279,11 +317,14 @@ func (r *Runner) LoadSpec(rd io.Reader) error { return r.engine.LoadSpec(rd) }
 
 // RunStats aggregates one run's statistics.
 type RunStats struct {
-	// Run is the protocol-level accounting (commits, retries — the
-	// Figure 10 metrics).
+	// Run is the protocol-level accounting (commits, retries, and the
+	// abort-reason breakdown — the Figure 10 metrics).
 	Run stm.Stats
 	// Detector is the conflict-detector accounting.
 	Detector conflict.Stats
+	// Timeline is the run's captured event timeline, merged across
+	// worker lanes in time order; nil unless Config.Trace was set.
+	Timeline []TraceEvent
 }
 
 // detector builds the configured detector instance for one run.
@@ -296,6 +337,10 @@ func (r *Runner) detector() conflict.Detector {
 
 func (r *Runner) run(initial *State, tasks []Task, ordered bool) (*State, RunStats, error) {
 	det := r.detector()
+	var tracer obs.Tracer
+	if r.cfg.Trace != nil {
+		tracer = r.cfg.Trace
+	}
 	final, stats, err := stm.Run(stm.Config{
 		Threads:     r.cfg.Threads,
 		Ordered:     ordered,
@@ -303,6 +348,7 @@ func (r *Runner) run(initial *State, tasks []Task, ordered bool) (*State, RunSta
 		Privatize:   r.cfg.Privatize,
 		MaxRetries:  r.cfg.MaxRetries,
 		ReclaimLogs: r.cfg.ReclaimLogs,
+		Tracer:      tracer,
 	}, initial, tasks)
 	rs := RunStats{Run: stats}
 	switch d := det.(type) {
@@ -310,6 +356,9 @@ func (r *Runner) run(initial *State, tasks []Task, ordered bool) (*State, RunSta
 		rs.Detector = d.Stats()
 	case *conflict.Sequence:
 		rs.Detector = d.Stats()
+	}
+	if r.cfg.Trace != nil {
+		rs.Timeline = r.cfg.Trace.Events()
 	}
 	return final, rs, err
 }

@@ -3,6 +3,8 @@ package janus
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/obs"
 	"time"
 )
 
@@ -426,5 +428,62 @@ func TestInitCustomADT(t *testing.T) {
 	}
 	if _, err := InitCustom(st, "bad", CustomSpec{}); err == nil {
 		t.Fatalf("invalid spec must be rejected")
+	}
+}
+
+// TestTracedRunProducesTimeline runs a contended parallel workload with
+// a Trace attached and checks the end-to-end observability path: the
+// timeline comes back in RunStats, task spans are attributed to workers,
+// aborts carry a reason and location, the abort-reason breakdown in
+// stm.Stats agrees with the trace, and the Chrome exporter accepts it.
+func TestTracedRunProducesTimeline(t *testing.T) {
+	st := exampleState()
+	var tasks []Task
+	for i := 1; i <= 32; i++ {
+		tasks = append(tasks, addTask(int64(i)))
+	}
+	tr := NewTrace(0)
+	r := New(Config{Threads: 4, Detection: DetectWriteSet, Trace: tr})
+	_, stats, err := r.RunOutOfOrder(st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Timeline) == 0 {
+		t.Fatal("traced run returned an empty timeline")
+	}
+	var taskSpans, aborts int64
+	for _, e := range stats.Timeline {
+		switch e.Type {
+		case obs.EvTask:
+			taskSpans++
+			if e.Worker < 0 || e.Dur <= 0 {
+				t.Fatalf("task span missing attribution: %+v", e)
+			}
+		case obs.EvTxAbort:
+			aborts++
+			if e.Reason == "" || e.Loc == "" {
+				t.Fatalf("abort without reason/location: %+v", e)
+			}
+		}
+	}
+	if taskSpans != int64(stats.Run.Commits) {
+		t.Fatalf("task spans = %d, commits = %d", taskSpans, stats.Run.Commits)
+	}
+	var reasonTotal int64
+	for _, n := range stats.Run.AbortReasons {
+		reasonTotal += n
+	}
+	if reasonTotal != stats.Run.Conflicts {
+		t.Fatalf("abort reasons sum to %d, conflicts = %d", reasonTotal, stats.Run.Conflicts)
+	}
+	if aborts != stats.Run.Conflicts {
+		t.Fatalf("abort events = %d, conflicts = %d", aborts, stats.Run.Conflicts)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty Chrome trace")
 	}
 }
