@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench trace clean
+.PHONY: all vet build test race check bench bench-contention trace clean
 
 all: check
 
@@ -22,9 +22,16 @@ check: vet build test race
 bench:
 	$(GO) run ./cmd/janus-bench
 
+# Contention benchmarks for the sharded cache and the detection loop,
+# swept across GOMAXPROCS. Output lands in bench-contention.txt so CI can
+# upload it as an artifact; informational, not gating.
+bench-contention:
+	$(GO) test -run '^$$' -bench 'BenchmarkLookupParallel|BenchmarkDetectHighContention' \
+		-benchmem -cpu 1,4,8 ./internal/cache ./internal/conflict | tee bench-contention.txt
+
 # Capture a Chrome trace of one production run (open in ui.perfetto.dev).
 trace:
 	$(GO) run ./cmd/janus-bench -trace out.json -workloads jfilesync
 
 clean:
-	rm -f out.json
+	rm -f out.json bench-contention.txt

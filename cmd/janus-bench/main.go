@@ -51,10 +51,11 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "profile wall-clock runs and emit RunStats + CacheStats + timing as JSON")
 		detName  = flag.String("detector", "seq", "detector for profiled runs: seq or ws")
 		obsAddr  = flag.String("obs", "", "serve /debug/vars and /debug/pprof on this address (e.g. :6060)")
+		shards   = flag.Int("cacheshards", 0, "commutativity-cache shard count, rounded up to a power of two (0 = default)")
 	)
 	flag.Parse()
 
-	opts := bench.Opts{ProdRuns: *runs}
+	opts := bench.Opts{ProdRuns: *runs, CacheShards: *shards}
 	switch *size {
 	case "production":
 		opts.Size = workloads.Production

@@ -79,6 +79,9 @@ type Opts struct {
 	// not run 8 threads fully in parallel; sweeping Cores projects the
 	// evaluation onto modern machines.
 	Machine *vtime.Machine
+	// CacheShards overrides the commutativity cache's shard count
+	// (0 = cache.DefaultShards).
+	CacheShards int
 }
 
 func (o Opts) defaults() Opts {
@@ -133,15 +136,19 @@ type Result struct {
 }
 
 // trainEngine builds and trains the hindsight engine for w under the
-// given abstraction setting (five training runs, §7.1).
-func trainEngine(w *workloads.Workload, disableAbs bool) (*core.Engine, error) {
+// given abstraction setting (five training runs, §7.1), then freezes the
+// cache: the harness only measures production runs, which read the spec
+// but never extend it.
+func (o Opts) trainEngine(w *workloads.Workload, disableAbs bool) (*core.Engine, error) {
 	engine := core.NewEngine(core.Options{
 		DisableAbstraction: disableAbs,
 		Relax:              w.Relaxations,
+		CacheShards:        o.CacheShards,
 	})
 	if err := engine.TrainMany(w.NewState(), w.TrainingPayloads()); err != nil {
 		return nil, err
 	}
+	engine.Freeze()
 	return engine, nil
 }
 
@@ -155,7 +162,7 @@ func (o Opts) detectorFor(engine *core.Engine, det Detection) conflict.Detector 
 // Measure produces one Result.
 func Measure(w *workloads.Workload, det Detection, threads int, o Opts) (Result, error) {
 	o = o.defaults()
-	engine, err := trainEngine(w, false)
+	engine, err := o.trainEngine(w, false)
 	if err != nil {
 		return Result{}, err
 	}
@@ -235,7 +242,7 @@ func figureRows(o Opts) ([]Result, error) {
 	}
 	var rows []Result
 	for _, w := range suite {
-		engine, err := trainEngine(w, false)
+		engine, err := o.trainEngine(w, false)
 		if err != nil {
 			return nil, fmt.Errorf("bench: training %s: %w", w.Name, err)
 		}
@@ -323,7 +330,7 @@ func MissRates(w *workloads.Workload, threads int, o Opts) (withAbs, withoutAbs 
 	o = o.defaults()
 	tasks := w.Tasks(o.Size, prodSeed)
 	for _, disable := range []bool{false, true} {
-		engine, err := trainEngine(w, disable)
+		engine, err := o.trainEngine(w, disable)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -424,7 +431,7 @@ func join(ss []string) string {
 func TrainingSummary(out io.Writer) error {
 	fmt.Fprintln(out, "Training summary (5 payloads per benchmark, abstraction on)")
 	for _, w := range workloads.All() {
-		engine, err := trainEngine(w, false)
+		engine, err := Opts{}.trainEngine(w, false)
 		if err != nil {
 			return err
 		}
@@ -446,7 +453,7 @@ func Timeline(out io.Writer, name string, threads int, o Opts) error {
 	if err != nil {
 		return err
 	}
-	engine, err := trainEngine(w, false)
+	engine, err := o.trainEngine(w, false)
 	if err != nil {
 		return err
 	}

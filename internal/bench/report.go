@@ -25,6 +25,8 @@ type RunReport struct {
 	Threads      int            `json:"threads"`
 	Size         string         `json:"size"`
 	Tasks        int            `json:"tasks"`
+	CacheShards  int            `json:"cache_shards"`
+	CacheFrozen  bool           `json:"cache_frozen"`
 	SequentialNs int64          `json:"sequential_ns"`
 	ElapsedNs    int64          `json:"elapsed_ns"`
 	Speedup      float64        `json:"speedup"`
@@ -51,7 +53,7 @@ func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, trace
 		Tasks:    len(tasks),
 	}
 
-	engine, err := trainEngine(w, false)
+	engine, err := o.trainEngine(w, false)
 	if err != nil {
 		return RunReport{}, fmt.Errorf("bench: training %s: %w", w.Name, err)
 	}
@@ -91,6 +93,8 @@ func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, trace
 		rep.Conflict = dd.Stats()
 	}
 	rep.Cache = engine.Cache().Stats()
+	rep.CacheShards = engine.Cache().NumShards()
+	rep.CacheFrozen = engine.Cache().Frozen()
 	if tracer != nil {
 		rep.Trace = tracer.Vars()
 	}

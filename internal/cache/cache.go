@@ -4,9 +4,18 @@
 // §5.2 regular forms, or concrete shapes when abstraction is disabled) to
 // the condition kind proved sound for that pair.
 //
+// The cache is N-way sharded by pair-key hash so that concurrent
+// production lookups from many detection workers do not serialize on a
+// single mutex. Training-time writes take a per-shard write lock;
+// production-time reads take only the shard's read lock — or no lock at
+// all once Freeze marks training complete and the entry maps immutable.
+//
 // The cache also keeps the hit/miss accounting behind Figure 11: unique
-// queries are tracked by key, so repeated hits or misses on the same query
-// count once, matching the paper's measurement methodology.
+// queries are tracked by key, classified by their first outcome, so
+// repeated hits or misses on the same query count once, matching the
+// paper's measurement methodology. Totals are per-shard padded atomics;
+// the unique-key tracking takes a per-shard stats read lock on the hot
+// path and escalates to the write lock only the first time a key is seen.
 package cache
 
 import (
@@ -14,57 +23,160 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/commute"
 	"repro/internal/oplog"
 	"repro/internal/seqabs"
 )
 
-// Cache is a concurrency-safe commutativity specification.
-type Cache struct {
-	abs *seqabs.Abstracter
+// DefaultShards is the shard count used by New. Sixteen ways is enough to
+// make shard collisions rare at the paper's 8-thread scale while keeping
+// the per-cache footprint trivial.
+const DefaultShards = 16
 
+// shard is one lock domain of the cache. Entries and query accounting
+// have independent locks so that frozen (lock-free) entry reads never
+// contend with stats bookkeeping. The trailing pad keeps the hot atomic
+// counters of neighboring shards on different cache lines.
+type shard struct {
 	mu      sync.RWMutex
 	entries map[string]commute.ConditionKind
-	hits    map[string]int
-	misses  map[string]int
+
+	statsMu sync.RWMutex
+	// firstHit classifies every key ever queried by its first outcome
+	// (true = hit). Figure 11's unique-query stats derive from it.
+	firstHit map[string]bool
+
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	_ [40]byte // pad shard to a 64-byte multiple against false sharing
 }
 
-// New returns an empty cache whose keys are built under the given
-// abstraction mode.
-func New(mode seqabs.Mode) *Cache {
-	return &Cache{
-		abs:     &seqabs.Abstracter{Mode: mode},
-		entries: make(map[string]commute.ConditionKind),
-		hits:    make(map[string]int),
-		misses:  make(map[string]int),
+// Cache is a concurrency-safe commutativity specification.
+type Cache struct {
+	abs    *seqabs.Abstracter
+	shards []shard
+	mask   uint32
+	// frozen flips the cache into read-only production mode: entry maps
+	// become immutable, so lookups skip the shard locks entirely.
+	frozen atomic.Bool
+}
+
+// New returns an empty cache with DefaultShards shards whose keys are
+// built under the given abstraction mode.
+func New(mode seqabs.Mode) *Cache { return NewSharded(mode, 0) }
+
+// NewSharded returns an empty cache with the given shard count, rounded up
+// to a power of two; shards <= 0 selects DefaultShards.
+func NewSharded(mode seqabs.Mode, shards int) *Cache {
+	if shards <= 0 {
+		shards = DefaultShards
 	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &Cache{
+		abs:    &seqabs.Abstracter{Mode: mode},
+		shards: make([]shard, n),
+		mask:   uint32(n - 1),
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]commute.ConditionKind)
+		c.shards[i].firstHit = make(map[string]bool)
+	}
+	return c
 }
 
 // Mode returns the cache's abstraction mode.
 func (c *Cache) Mode() seqabs.Mode { return c.abs.Mode }
 
+// NumShards returns the shard count.
+func (c *Cache) NumShards() int { return len(c.shards) }
+
 // Key renders the cache key for a sequence pair.
 func (c *Cache) Key(s1, s2 []oplog.Sym) string { return c.abs.PairKey(s1, s2) }
 
+// shardFor hashes a key to its shard: FNV-1a with a murmur-style
+// avalanche finalizer. Rendered keys are highly periodic (repeated
+// " · kind" blocks), and raw FNV's low bits cycle on periodic input —
+// without the final mix, whole workloads collapse into one shard.
+func (c *Cache) shardFor(key string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[mix32(h)&c.mask]
+}
+
+// shardForBytes is shardFor over an unconverted key buffer.
+func (c *Cache) shardForBytes(key []byte) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[mix32(h)&c.mask]
+}
+
+// mix32 avalanches every input bit across the output (murmur3 fmix32).
+func mix32(h uint32) uint32 {
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+// keyBufPool recycles the scratch buffers LookupDetail renders pair keys
+// into, keeping the production lookup path allocation-free.
+var keyBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// Freeze switches the cache into read-only production mode: subsequent
+// lookups read the entry maps without locking, and Put/Merge become
+// no-ops (Load fails). Freeze after training, before handing the cache to
+// production workers; callers using LearnOnline must not freeze, since
+// online learning writes entries at detection time. Acquiring every shard
+// lock before publishing the flag guarantees any in-flight write completes
+// before the first lock-free read.
+func (c *Cache) Freeze() {
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+	}
+	c.frozen.Store(true)
+	for i := range c.shards {
+		c.shards[i].mu.Unlock()
+	}
+}
+
+// Frozen reports whether the cache is in read-only production mode.
+func (c *Cache) Frozen() bool { return c.frozen.Load() }
+
 // Put records a proved condition for the pair's shape. CondNone entries
-// are ignored (an unprovable pair stays a miss).
+// are ignored (an unprovable pair stays a miss). Puts on a frozen cache
+// are dropped.
 func (c *Cache) Put(s1, s2 []oplog.Sym, kind commute.ConditionKind) {
+	c.putKey(c.Key(s1, s2), kind)
+}
+
+// putKey is the write path shared by Put, Merge, and Load: conflicting
+// kinds for one key resolve by commute.Resolve, so cache contents are
+// independent of insertion order.
+func (c *Cache) putKey(key string, kind commute.ConditionKind) {
 	if kind == commute.CondNone {
 		return
 	}
-	key := c.Key(s1, s2)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if prev, ok := c.entries[key]; ok && prev != kind {
-		// Two training observations proved different conditions for one
-		// shape key; keep the weaker-but-general register/stack form over
-		// Always, since Always may only hold for the other instance.
-		if kind == commute.CondAlways {
-			return
-		}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c.frozen.Load() {
+		return
 	}
-	c.entries[key] = kind
+	sh.entries[key] = commute.Resolve(sh.entries[key], kind)
 }
 
 // Lookup answers a production commutativity query: whether the concrete
@@ -81,15 +193,24 @@ func (c *Cache) Lookup(s1, s2 []oplog.Sym) (conflict, hit bool) {
 // pair (same-read, commute, or theory when the instance left the
 // condition's theory and the answer is conservative).
 func (c *Cache) LookupDetail(s1, s2 []oplog.Sym) (conflict bool, failed commute.Check, hit bool) {
-	key := c.Key(s1, s2)
-	c.mu.Lock()
-	kind, ok := c.entries[key]
-	if ok {
-		c.hits[key]++
+	// The key is rendered into a pooled buffer and looked up via the
+	// compiler's no-copy map[string] access on string(buf), so a hit on a
+	// known key allocates nothing.
+	bp := keyBufPool.Get().(*[]byte)
+	buf := c.abs.AppendPairKey((*bp)[:0], s1, s2)
+	sh := c.shardForBytes(buf)
+	var kind commute.ConditionKind
+	var ok bool
+	if c.frozen.Load() {
+		kind, ok = sh.entries[string(buf)]
 	} else {
-		c.misses[key]++
+		sh.mu.RLock()
+		kind, ok = sh.entries[string(buf)]
+		sh.mu.RUnlock()
 	}
-	c.mu.Unlock()
+	sh.note(buf, ok)
+	*bp = buf
+	keyBufPool.Put(bp)
 	if !ok {
 		return true, commute.CheckNone, false
 	}
@@ -102,39 +223,86 @@ func (c *Cache) LookupDetail(s1, s2 []oplog.Sym) (conflict bool, failed commute.
 	return conflict, failed, true
 }
 
+// note records one query outcome: totals on the shard's atomic counters,
+// plus the key's first outcome for the unique-query stats. Re-queried keys
+// (the steady state) only take the stats read lock and allocate nothing;
+// the key string is materialized once, when a key is first seen.
+func (s *shard) note(key []byte, hit bool) {
+	if hit {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	s.statsMu.RLock()
+	_, seen := s.firstHit[string(key)]
+	s.statsMu.RUnlock()
+	if seen {
+		return
+	}
+	s.statsMu.Lock()
+	if _, seen := s.firstHit[string(key)]; !seen {
+		s.firstHit[string(key)] = hit
+	}
+	s.statsMu.Unlock()
+}
+
 // Len returns the number of cached shape pairs.
 func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		if c.frozen.Load() {
+			n += len(sh.entries)
+			continue
+		}
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// snapshotEntries copies the live entry maps (for Merge/Save/Dump).
+func (c *Cache) snapshotEntries() map[string]commute.ConditionKind {
+	out := make(map[string]commute.ConditionKind)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		if c.frozen.Load() {
+			for k, v := range sh.entries {
+				out[k] = v
+			}
+			continue
+		}
+		sh.mu.RLock()
+		for k, v := range sh.entries {
+			out[k] = v
+		}
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 // Merge folds another cache's entries into c (multiple training runs).
-// Conflicting kinds resolve as in Put.
+// Conflicting kinds resolve by commute.Resolve, so the merged contents are
+// independent of merge order. Merging into a frozen cache is a no-op.
 func (c *Cache) Merge(o *Cache) {
-	o.mu.RLock()
-	entries := make(map[string]commute.ConditionKind, len(o.entries))
-	for k, v := range o.entries {
-		entries[k] = v
-	}
-	o.mu.RUnlock()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for k, v := range entries {
-		if prev, ok := c.entries[k]; ok && prev != v && v == commute.CondAlways {
-			continue
-		}
-		c.entries[k] = v
+	for k, v := range o.snapshotEntries() {
+		c.putKey(k, v)
 	}
 }
 
 // ResetStats clears hit/miss accounting (e.g. between the cold run and the
-// measured production runs).
+// measured production runs). It works on frozen caches: accounting is
+// separate from the immutable entry maps.
 func (c *Cache) ResetStats() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.hits = make(map[string]int)
-	c.misses = make(map[string]int)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.statsMu.Lock()
+		sh.firstHit = make(map[string]bool)
+		sh.hits.Store(0)
+		sh.misses.Store(0)
+		sh.statsMu.Unlock()
+	}
 }
 
 // Stats summarizes query accounting.
@@ -143,13 +311,17 @@ type Stats struct {
 	Hits          int // total hits
 	Misses        int // total misses
 	UniqueQueries int // distinct query keys seen
-	UniqueHits    int // distinct keys that hit
-	UniqueMisses  int // distinct keys that missed (and never hit)
+	UniqueHits    int // distinct keys whose first query hit
+	UniqueMisses  int // distinct keys whose first query missed
 	Entries       int
+	Shards        int
 }
 
 // UniqueMissRate returns the Figure 11 metric: the fraction of unique
-// queries with no matching cache entry.
+// queries with no matching cache entry. Keys are classified by their first
+// outcome (a key that misses once and later hits — possible under online
+// learning — counts as a unique miss, since its first query forced a
+// fallback), so UniqueHits + UniqueMisses == UniqueQueries always holds.
 func (s Stats) UniqueMissRate() float64 {
 	if s.UniqueQueries == 0 {
 		return 0
@@ -157,42 +329,57 @@ func (s Stats) UniqueMissRate() float64 {
 	return float64(s.UniqueMisses) / float64(s.UniqueQueries)
 }
 
-// Stats returns a snapshot of the accounting.
+// Stats returns a snapshot of the accounting. Concurrent lookups may land
+// between shard visits, so the snapshot is only exact when quiescent.
 func (c *Cache) Stats() Stats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	st := Stats{Entries: len(c.entries)}
-	keys := make(map[string]struct{})
-	for k, n := range c.hits {
-		st.Hits += n
-		keys[k] = struct{}{}
-		st.UniqueHits++
-	}
-	for k, n := range c.misses {
-		st.Misses += n
-		if _, alsoHit := c.hits[k]; !alsoHit {
-			st.UniqueMisses++
+	st := Stats{Entries: c.Len(), Shards: len(c.shards)}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		st.Hits += int(sh.hits.Load())
+		st.Misses += int(sh.misses.Load())
+		sh.statsMu.RLock()
+		for _, hit := range sh.firstHit {
+			if hit {
+				st.UniqueHits++
+			} else {
+				st.UniqueMisses++
+			}
 		}
-		keys[k] = struct{}{}
+		st.UniqueQueries += len(sh.firstHit)
+		sh.statsMu.RUnlock()
 	}
-	st.UniqueQueries = len(keys)
 	st.Lookups = st.Hits + st.Misses
 	return st
+}
+
+// ShardLens returns the entry count per shard (distribution diagnostics).
+func (c *Cache) ShardLens() []int {
+	out := make([]int, len(c.shards))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		if c.frozen.Load() {
+			out[i] = len(sh.entries)
+			continue
+		}
+		sh.mu.RLock()
+		out[i] = len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 // Dump renders the cache contents deterministically for inspection and
 // golden tests.
 func (c *Cache) Dump() string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	keys := make([]string, 0, len(c.entries))
-	for k := range c.entries {
+	entries := c.snapshotEntries()
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	var b strings.Builder
 	for _, k := range keys {
-		fmt.Fprintf(&b, "%s → %s\n", k, c.entries[k])
+		fmt.Fprintf(&b, "%s → %s\n", k, entries[k])
 	}
 	return b.String()
 }

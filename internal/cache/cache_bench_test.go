@@ -42,6 +42,53 @@ func BenchmarkLookupMiss(b *testing.B) {
 	}
 }
 
+// lookupParallel hammers the cache with hit queries over a spread of keys
+// from every worker — the access pattern of the detection loop at high
+// thread counts. Concrete keys render the kind sequence, so varying the
+// sequence lengths keeps the 64 key pairs distinct and spreads the load
+// over the key space (and the shards).
+func lookupParallel(b *testing.B, freeze bool) {
+	c := New(seqabs.Concrete)
+	seq := func(n int) []oplog.Sym {
+		out := make([]oplog.Sym, 0, 2*n)
+		for i := 0; i < n; i++ {
+			out = append(out,
+				oplog.Sym{Kind: adt.KindNumAdd, Arg: strconv.Itoa(i + 1)},
+				oplog.Sym{Kind: adt.KindNumAdd, Arg: strconv.Itoa(-i - 1)})
+		}
+		return out
+	}
+	queries := make([][2][]oplog.Sym, 64)
+	for i := range queries {
+		s1, s2 := seq(i%8+1), seq(i/8+1)
+		c.Put(s1, s2, commute.CondRegister)
+		queries[i] = [2][]oplog.Sym{s1, s2}
+	}
+	if freeze {
+		c.Freeze()
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := queries[i&(len(queries)-1)]
+			i++
+			if _, hit := c.Lookup(q[0], q[1]); !hit {
+				b.Fatal("unexpected miss")
+			}
+		}
+	})
+}
+
+// BenchmarkLookupParallel measures contended lookups in production mode
+// (frozen cache, lock-free entry reads). Run with -cpu 1,4,8 to see how
+// lookup throughput scales.
+func BenchmarkLookupParallel(b *testing.B) { lookupParallel(b, true) }
+
+// BenchmarkLookupParallelTraining is the same load against an unfrozen
+// cache, where lookups take the shard read lock.
+func BenchmarkLookupParallelTraining(b *testing.B) { lookupParallel(b, false) }
+
 func BenchmarkLookupStackIdentity(b *testing.B) {
 	c := New(seqabs.Abstract)
 	bal := func(n int) []oplog.Sym {

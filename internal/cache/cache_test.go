@@ -160,6 +160,244 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 }
 
+// distinctSeq builds length-distinct symbolic sequences: concrete keys
+// render kind sequences, so varying the length yields distinct keys.
+func distinctSeq(n int) []oplog.Sym {
+	out := make([]oplog.Sym, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, sym(adt.KindNumAdd, "1"))
+	}
+	return out
+}
+
+func TestShardDistribution(t *testing.T) {
+	c := NewSharded(seqabs.Concrete, 8)
+	if c.NumShards() != 8 {
+		t.Fatalf("NumShards = %d, want 8", c.NumShards())
+	}
+	const keys = 256
+	for i := 1; i <= keys; i++ {
+		c.Put(distinctSeq(i), distinctSeq(i+keys), commute.CondAlways)
+	}
+	if c.Len() != keys {
+		t.Fatalf("Len = %d, want %d", c.Len(), keys)
+	}
+	lens := c.ShardLens()
+	if len(lens) != 8 {
+		t.Fatalf("ShardLens = %v", lens)
+	}
+	total := 0
+	for i, n := range lens {
+		total += n
+		// A uniform hash puts ~32 keys per shard; any shard holding more
+		// than half the keys means the hash is effectively unsharded.
+		if n > keys/2 {
+			t.Errorf("shard %d holds %d of %d keys — distribution collapsed", i, n, keys)
+		}
+	}
+	if total != keys {
+		t.Fatalf("shard lens sum to %d, want %d", total, keys)
+	}
+}
+
+func TestNewShardedRoundsUp(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultShards}, {-3, DefaultShards}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {16, 16}, {17, 32},
+	} {
+		if got := NewSharded(seqabs.Abstract, tc.in).NumShards(); got != tc.want {
+			t.Errorf("NewSharded(%d).NumShards = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestConcurrentPutLookupMerge exercises parallel writers, readers, and
+// mergers under -race: the training-time contract (per-shard write locks)
+// must hold while production-style lookups run.
+func TestConcurrentPutLookupMerge(t *testing.T) {
+	c := NewSharded(seqabs.Concrete, 4)
+	other := New(seqabs.Concrete)
+	for i := 1; i <= 32; i++ {
+		other.Put(distinctSeq(i), distinctSeq(i+100), commute.CondRegister)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 50; i++ {
+				c.Put(distinctSeq(i%16+1), distinctSeq(i%16+200), commute.CondAlways)
+				c.Lookup(distinctSeq(i%32+1), distinctSeq(i%32+100))
+				if w == 0 && i%10 == 0 {
+					c.Merge(other)
+				}
+				c.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() == 0 {
+		t.Fatal("no entries after concurrent writes")
+	}
+	st := c.Stats()
+	if st.Lookups != 200 {
+		t.Fatalf("Lookups = %d, want 200", st.Lookups)
+	}
+	if st.UniqueHits+st.UniqueMisses != st.UniqueQueries {
+		t.Fatalf("unique stats inconsistent: %+v", st)
+	}
+}
+
+// TestMergeOrderDeterminism asserts the satellite bugfix: merging the same
+// training runs in any order yields identical cache contents, including
+// when runs proved different non-Always kinds for one key.
+func TestMergeOrderDeterminism(t *testing.T) {
+	store := []oplog.Sym{sym(adt.KindNumStore, "5")}
+	build := func() (*Cache, *Cache, *Cache) {
+		a, b, d := New(seqabs.Abstract), New(seqabs.Abstract), New(seqabs.Abstract)
+		a.Put(idPair("1"), idPair("2"), commute.CondAlways)
+		a.Put(store, store, commute.CondRegister)
+		b.Put(store, store, commute.CondStackIdentity) // conflicting non-Always kind
+		b.Put(idPair("3"), idPair("4"), commute.CondRegister)
+		d.Put(store, store, commute.CondAlways)
+		return a, b, d
+	}
+	var dumps []string
+	for _, order := range [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}} {
+		a, b, d := build()
+		caches := []*Cache{a, b, d}
+		dst := New(seqabs.Abstract)
+		for _, i := range order {
+			dst.Merge(caches[i])
+		}
+		dumps = append(dumps, dst.Dump())
+	}
+	for i := 1; i < len(dumps); i++ {
+		if dumps[i] != dumps[0] {
+			t.Fatalf("merge order changed contents:\norder 0:\n%s\norder %d:\n%s", dumps[0], i, dumps[i])
+		}
+	}
+	// The weakest kind must have won for the contested key.
+	if !strings.Contains(dumps[0], "stack-identity") {
+		t.Errorf("contested key did not resolve to the weakest kind:\n%s", dumps[0])
+	}
+}
+
+// TestStatsFirstOutcome asserts the satellite bugfix: a key that misses
+// and later hits (online learning) is classified by its first outcome, so
+// UniqueHits + UniqueMisses == UniqueQueries always holds.
+func TestStatsFirstOutcome(t *testing.T) {
+	c := New(seqabs.Abstract)
+	store := []oplog.Sym{sym(adt.KindNumStore, "5")}
+	c.Lookup(store, store) // miss
+	c.Put(store, store, commute.CondRegister)
+	c.Lookup(store, store) // now hits, but the key's first query missed
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("totals = %+v", st)
+	}
+	if st.UniqueQueries != 1 || st.UniqueHits != 0 || st.UniqueMisses != 1 {
+		t.Fatalf("unique stats must classify by first outcome: %+v", st)
+	}
+	if st.UniqueHits+st.UniqueMisses != st.UniqueQueries {
+		t.Fatalf("invariant violated: %+v", st)
+	}
+	if got := st.UniqueMissRate(); got != 1 {
+		t.Fatalf("UniqueMissRate = %v, want 1", got)
+	}
+}
+
+func TestFreeze(t *testing.T) {
+	c := New(seqabs.Abstract)
+	store := []oplog.Sym{sym(adt.KindNumStore, "5")}
+	c.Put(store, store, commute.CondRegister)
+	if c.Frozen() {
+		t.Fatal("new cache must not be frozen")
+	}
+	c.Freeze()
+	if !c.Frozen() {
+		t.Fatal("Freeze did not stick")
+	}
+	// Writes are dropped; reads and stats keep working.
+	c.Put(idPair("1"), idPair("2"), commute.CondAlways)
+	if c.Len() != 1 {
+		t.Fatalf("Put on frozen cache must be a no-op; Len = %d", c.Len())
+	}
+	o := New(seqabs.Abstract)
+	o.Put(idPair("1"), idPair("2"), commute.CondAlways)
+	c.Merge(o)
+	if c.Len() != 1 {
+		t.Fatalf("Merge into frozen cache must be a no-op; Len = %d", c.Len())
+	}
+	var buf bytes.Buffer
+	if err := o.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("Load into frozen cache must fail")
+	}
+	if conflict, hit := c.Lookup(store, store); !hit || conflict {
+		t.Fatalf("frozen lookup: conflict=%v hit=%v", conflict, hit)
+	}
+	c.ResetStats()
+	if st := c.Stats(); st.Lookups != 0 {
+		t.Fatalf("ResetStats on frozen cache: %+v", st)
+	}
+	// Lock-free frozen reads must be race-clean under concurrency.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Lookup(store, store)
+				c.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Hits != 400 {
+		t.Fatalf("frozen concurrent Hits = %d, want 400", st.Hits)
+	}
+}
+
+// TestFreezeDuringWrites races Freeze against concurrent trainers and
+// readers: the all-shard lock handoff in Freeze must make every completed
+// pre-freeze write visible to post-freeze lock-free readers (-race is the
+// actual assertion here).
+func TestFreezeDuringWrites(t *testing.T) {
+	c := NewSharded(seqabs.Concrete, 4)
+	// Seed one entry so the landed-writes assertion below can't lose the
+	// race to Freeze on a single-core scheduler.
+	c.Put(distinctSeq(1), distinctSeq(101), commute.CondAlways)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 100; i++ {
+				c.Put(distinctSeq(i), distinctSeq(i+100), commute.CondAlways)
+				c.Lookup(distinctSeq(i), distinctSeq(i+100))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Freeze()
+	}()
+	wg.Wait()
+	if !c.Frozen() {
+		t.Fatal("cache must end frozen")
+	}
+	n := c.Len()
+	if n == 0 {
+		t.Fatal("no writes landed before the freeze")
+	}
+	if again := c.Len(); again != n {
+		t.Fatalf("frozen contents changed: %d vs %d", n, again)
+	}
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	src := New(seqabs.Abstract)
 	store := []oplog.Sym{sym(adt.KindNumStore, "5")}

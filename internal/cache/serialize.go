@@ -43,24 +43,25 @@ func kindFromName(s string) (commute.ConditionKind, error) {
 
 // Save writes the cache's entries as JSON.
 func (c *Cache) Save(w io.Writer) error {
-	c.mu.RLock()
+	entries := c.snapshotEntries()
 	f := specFile{
 		Format:  specFormat,
 		Mode:    c.abs.Mode.String(),
-		Entries: make(map[string]string, len(c.entries)),
+		Entries: make(map[string]string, len(entries)),
 	}
-	for k, v := range c.entries {
+	for k, v := range entries {
 		f.Entries[k] = kindName(v)
 	}
-	c.mu.RUnlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(f)
 }
 
-// Load merges a saved specification into the cache. It fails if the spec
-// was built under a different abstraction mode or contains unknown
-// condition kinds; on failure the cache is left unchanged.
+// Load merges a saved specification into the cache. It fails if the cache
+// is frozen, the spec was built under a different abstraction mode, or it
+// contains unknown condition kinds; on failure the cache is left
+// unchanged. Conflicting kinds resolve by commute.Resolve, so loading
+// multiple specs is order-independent.
 func (c *Cache) Load(r io.Reader) error {
 	var f specFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
@@ -80,13 +81,11 @@ func (c *Cache) Load(r io.Reader) error {
 		}
 		parsed[k] = kind
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.frozen.Load() {
+		return fmt.Errorf("cache: cannot load a spec into a frozen cache")
+	}
 	for k, v := range parsed {
-		if prev, ok := c.entries[k]; ok && prev != v && v == commute.CondAlways {
-			continue
-		}
-		c.entries[k] = v
+		c.putKey(k, v)
 	}
 	return nil
 }

@@ -54,6 +54,45 @@ func (k ConditionKind) String() string {
 	}
 }
 
+// Strength ranks condition kinds by the strength of the commutativity
+// claim they certify: CondAlways (commutes for every instance) is the
+// strongest, then CondRegister (per-instance register-theory evaluation),
+// then CondStackIdentity (per-instance balance check); CondNone certifies
+// nothing. The order is total, which makes conflict resolution between
+// training runs deterministic.
+func (k ConditionKind) Strength() int {
+	switch k {
+	case CondAlways:
+		return 3
+	case CondRegister:
+		return 2
+	case CondStackIdentity:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Resolve deterministically combines two conditions proved for the same
+// shape key: the weaker (lower-Strength) non-None condition wins, since a
+// stronger claim proved for one instance pair need not hold for every
+// instance of the shape — e.g. Always proved on store(5)/store(5) must
+// yield to Register proved on store(5)/store(6). Resolve is commutative
+// and associative, so merged cache contents are independent of the order
+// training runs are observed or merged.
+func Resolve(a, b ConditionKind) ConditionKind {
+	if a == CondNone {
+		return b
+	}
+	if b == CondNone {
+		return a
+	}
+	if b.Strength() < a.Strength() {
+		return b
+	}
+	return a
+}
+
 // Prove derives the strongest condition kind that soundly decides
 // commutativity for concrete instances of the two sequences' shapes.
 // It returns CondNone when no theory covers the pair (the caller then

@@ -230,3 +230,44 @@ func TestTheoryAgreesWithConcrete(t *testing.T) {
 		_ = strconv.Itoa(iter)
 	}
 }
+
+// TestResolveDeterministic pins the total strength order on condition
+// kinds and the order-independence of Resolve, which Cache.Put, Merge,
+// and Load rely on for deterministic merged contents.
+func TestResolveDeterministic(t *testing.T) {
+	kinds := []ConditionKind{CondNone, CondStackIdentity, CondRegister, CondAlways}
+	for i, a := range kinds {
+		for j, b := range kinds {
+			got := Resolve(a, b)
+			if sym := Resolve(b, a); sym != got {
+				t.Errorf("Resolve(%v,%v)=%v but Resolve(%v,%v)=%v", a, b, got, b, a, sym)
+			}
+			var want ConditionKind
+			switch {
+			case a == CondNone:
+				want = b
+			case b == CondNone:
+				want = a
+			case i <= j:
+				want = a // kinds listed weakest-first
+			default:
+				want = b
+			}
+			if got != want {
+				t.Errorf("Resolve(%v,%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+	// Associativity over a triple with all kinds present.
+	l := Resolve(Resolve(CondAlways, CondRegister), CondStackIdentity)
+	r := Resolve(CondAlways, Resolve(CondRegister, CondStackIdentity))
+	if l != r || l != CondStackIdentity {
+		t.Errorf("associativity: %v vs %v", l, r)
+	}
+	// Strength is a strict total order on provable kinds.
+	if !(CondNone.Strength() < CondStackIdentity.Strength() &&
+		CondStackIdentity.Strength() < CondRegister.Strength() &&
+		CondRegister.Strength() < CondAlways.Strength()) {
+		t.Errorf("strength order broken")
+	}
+}

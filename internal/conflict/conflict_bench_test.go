@@ -1,0 +1,82 @@
+package conflict
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/cache"
+	"repro/internal/commute"
+	"repro/internal/obs"
+	"repro/internal/oplog"
+	"repro/internal/seqabs"
+	"repro/internal/state"
+)
+
+// benchLog builds a log without a testing.T (bench variant of record).
+func benchLog(b *testing.B, st *state.State, task int, ops ...oplog.Op) oplog.Log {
+	b.Helper()
+	work := st.Clone()
+	var l oplog.Log
+	for i, op := range ops {
+		acc := op.Accesses(work)
+		v, err := op.Apply(work)
+		if err != nil {
+			b.Fatalf("apply %v: %v", op, err)
+		}
+		l = append(l, &oplog.Event{Op: op, Task: task, Seq: i, Acc: acc, Observed: v})
+	}
+	return l
+}
+
+// BenchmarkDetectHighContention measures the full sequence-detection path
+// under concurrency: many workers validating transactions against a
+// multi-entry committed history, with every per-location query answered by
+// the shared trained cache. This is the §5.3 hot path the sharded cache
+// exists for; run with -cpu 1,4,8.
+func BenchmarkDetectHighContention(b *testing.B) {
+	const nLocs = 16
+	st := state.New()
+	for i := 0; i < nLocs; i++ {
+		st.Set(state.Loc("ctr"+strconv.Itoa(i)), state.Int(0))
+	}
+	c := cache.New(seqabs.Abstract)
+	idSyms := func(n string) []oplog.Sym {
+		return []oplog.Sym{
+			{Kind: adt.KindNumAdd, Arg: n}, {Kind: adt.KindNumAdd, Arg: "-" + n},
+		}
+	}
+	c.Put(idSyms("1"), idSyms("2"), commute.CondRegister)
+	det := NewSequence(c, nil)
+
+	// Each transaction touches a few counters with identity add pairs —
+	// always admissible, so detection always runs the full pipeline.
+	txn := func(task, base int) oplog.Log {
+		var ops []oplog.Op
+		for j := 0; j < 3; j++ {
+			loc := state.Loc("ctr" + strconv.Itoa((base+j)%nLocs))
+			d := int64(task + j + 1)
+			ops = append(ops, adt.NumAddOp{L: loc, Delta: d}, adt.NumAddOp{L: loc, Delta: -d})
+		}
+		return benchLog(b, st, task, ops...)
+	}
+	committed := make([]oplog.Log, 4)
+	for i := range committed {
+		committed[i] = txn(100+i, i*3)
+	}
+	running := make([]oplog.Log, 8)
+	for i := range running {
+		running[i] = txn(i+1, i)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			v := det.DetectV(obs.Ctx{}, st, running[i%len(running)], committed)
+			i++
+			if v.Conflict {
+				b.Fatal("identity transactions must not conflict")
+			}
+		}
+	})
+}

@@ -41,6 +41,9 @@ type Options struct {
 	Relax *conflict.Relaxations
 	// SkipVerify disables training-time verification passes.
 	SkipVerify bool
+	// CacheShards overrides the commutativity cache's shard count
+	// (rounded up to a power of two); 0 means cache.DefaultShards.
+	CacheShards int
 }
 
 // Engine is a trained JANUS detection engine.
@@ -52,7 +55,7 @@ type Engine struct {
 
 // NewEngine builds an untrained engine.
 func NewEngine(opts Options) *Engine {
-	return &Engine{opts: opts, cache: cache.New(opts.mode())}
+	return &Engine{opts: opts, cache: cache.NewSharded(opts.mode(), opts.CacheShards)}
 }
 
 func (o Options) mode() seqabs.Mode {
@@ -95,6 +98,17 @@ func (e *Engine) Detector() *conflict.Sequence {
 	det.LearnOnline = e.opts.LearnOnline
 	det.InferWAW = e.opts.InferWAW
 	return det
+}
+
+// Freeze switches the trained cache into read-only production mode:
+// lookups stop taking shard locks, and further Train/LoadSpec calls fail
+// or no-op (see cache.Freeze). It is skipped under LearnOnline, which
+// must keep writing entries at detection time.
+func (e *Engine) Freeze() {
+	if e.opts.LearnOnline {
+		return
+	}
+	e.cache.Freeze()
 }
 
 // Cache exposes the trained commutativity specification.

@@ -188,16 +188,92 @@ func kinds(syms []oplog.Sym) []string {
 
 // Key abstracts a sequence and renders its cache key in one step.
 func (a *Abstracter) Key(syms []oplog.Sym) string {
-	return a.Abstract(syms).String()
+	return string(a.AppendKey(nil, syms))
+}
+
+// elemSep separates pattern elements in rendered keys (Pattern.String
+// uses the same separator).
+const elemSep = " · "
+
+// pairSep separates the two sequence keys of a pair key.
+const pairSep = " ⇄ "
+
+// AppendKey renders the sequence's cache key directly into dst and
+// returns the extended slice. It produces exactly Abstract(syms).String()
+// but skips the intermediate Pattern, keeping the production lookup path
+// allocation-free (the buffer aside) — the per-query cost §5.3 requires
+// to stay "on a par with write-set detection".
+func (a *Abstracter) AppendKey(dst []byte, syms []oplog.Sym) []byte {
+	if a.Mode == Concrete {
+		for i, s := range syms {
+			if i > 0 {
+				dst = append(dst, elemSep...)
+			}
+			dst = append(dst, s.Kind...)
+		}
+		return dst
+	}
+	maxBlock := a.MaxBlock
+	if maxBlock == 0 {
+		maxBlock = DefaultMaxBlock
+	}
+	i := 0
+	for i < len(syms) {
+		if i > 0 {
+			dst = append(dst, elemSep...)
+		}
+		k, m := a.findCollapse(syms[i:], maxBlock)
+		if k == 0 {
+			dst = append(dst, syms[i].Kind...)
+			i++
+			continue
+		}
+		dst = append(dst, '(')
+		for j := 0; j < k; j++ {
+			if j > 0 {
+				dst = append(dst, ' ')
+			}
+			dst = append(dst, syms[i+j].Kind...)
+		}
+		dst = append(dst, ")+"...)
+		i += k * m
+	}
+	return dst
 }
 
 // PairKey renders the canonical unordered cache key for a pair of
 // sequences: commutativity is symmetric, so the two patterns are sorted
 // before joining.
 func (a *Abstracter) PairKey(s1, s2 []oplog.Sym) string {
-	k1, k2 := a.Key(s1), a.Key(s2)
-	if k2 < k1 {
-		k1, k2 = k2, k1
+	return string(a.AppendPairKey(nil, s1, s2))
+}
+
+// AppendPairKey renders the canonical pair key into dst without any
+// intermediate allocation: both keys are rendered in place, and when they
+// sort out of order the two segments are swapped by rotation.
+func (a *Abstracter) AppendPairKey(dst []byte, s1, s2 []oplog.Sym) []byte {
+	start := len(dst)
+	dst = a.AppendKey(dst, s1)
+	mid := len(dst)
+	dst = append(dst, pairSep...)
+	sepEnd := len(dst)
+	dst = a.AppendKey(dst, s2)
+	pair := dst[start:]
+	k1, k2 := pair[:mid-start], dst[sepEnd:]
+	if string(k2) < string(k1) {
+		// Rotate [k1 sep k2] into [k2 sep k1]: reverse each segment,
+		// then the whole (the separator's bytes are restored by the
+		// double reversal).
+		reverseBytes(k1)
+		reverseBytes(pair[len(k1) : len(k1)+len(pairSep)])
+		reverseBytes(k2)
+		reverseBytes(pair)
 	}
-	return k1 + " ⇄ " + k2
+	return dst
+}
+
+func reverseBytes(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
 }

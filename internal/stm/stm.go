@@ -14,6 +14,7 @@ package stm
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -351,15 +352,24 @@ func (r *Runtime) attempt(ctx obs.Ctx, task adt.Task, tid int) (committed bool, 
 		}
 	}
 
+	// The conflict history grows monotonically while the transaction
+	// retries the detect/commit loop (reclamation never touches entries
+	// newer than an active transaction's begin), so each iteration fetches
+	// only the entries that committed since the previous attempt's
+	// snapshot instead of recopying the whole (begin, now] window.
+	var opsC []oplog.Log
+	seen := tx.begin
 	for {
 		if r.failed() {
 			return false, nil
 		}
 		now := r.clock.Load()
-		var opsC []oplog.Log
-		r.lock.RLock()
-		opsC = r.committedHistory(tx.begin, now)
-		r.lock.RUnlock()
+		if now > seen {
+			r.lock.RLock()
+			opsC = append(opsC, r.committedHistory(seen, now)...)
+			r.lock.RUnlock()
+			seen = now
+		}
 		valStart := ctx.Now()
 		verdict := r.detector.DetectV(ctx, tx.snap, tx.log, opsC)
 		ctx.End(obs.EvTxValidate, valStart)
@@ -417,15 +427,21 @@ func (r *Runtime) dropBegin(tid int) {
 
 // committedHistory returns the logs of transactions that committed in
 // (begin, now], one per transaction in commit order — GETCOMMITTEDHISTORY
-// of Figure 7.
+// of Figure 7. Commit times are strictly increasing in history order
+// (each commit appends under the write lock after advancing the clock,
+// and reclamation only drops a prefix), so the window is found by binary
+// search instead of scanning the whole history.
 func (r *Runtime) committedHistory(begin, now int64) []oplog.Log {
 	r.histMu.Lock()
 	defer r.histMu.Unlock()
-	var out []oplog.Log
-	for _, h := range r.history {
-		if h.commitTime > begin && h.commitTime <= now {
-			out = append(out, h.log)
-		}
+	lo := sort.Search(len(r.history), func(i int) bool { return r.history[i].commitTime > begin })
+	hi := sort.Search(len(r.history), func(i int) bool { return r.history[i].commitTime > now })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]oplog.Log, hi-lo)
+	for i, h := range r.history[lo:hi] {
+		out[i] = h.log
 	}
 	return out
 }
@@ -500,6 +516,7 @@ func (r *Runtime) reclaimLocked() {
 			minBegin = b
 		}
 	}
+	n := len(r.history)
 	kept := r.history[:0]
 	for _, h := range r.history {
 		if h.commitTime > minBegin {
@@ -507,6 +524,11 @@ func (r *Runtime) reclaimLocked() {
 		} else {
 			atomic.AddInt64(&r.stats.Reclaimed, 1)
 		}
+	}
+	// Zero the dropped tail of the backing array so reclaimed oplog.Log
+	// references become collectable — compaction alone keeps them alive.
+	for i := len(kept); i < n; i++ {
+		r.history[i] = histEntry{}
 	}
 	r.history = kept
 }

@@ -3,6 +3,7 @@ package stm
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -264,6 +265,53 @@ func TestReclaimLogs(t *testing.T) {
 	if reclaim.Reclaimed == 0 {
 		t.Fatalf("nothing reclaimed")
 	}
+}
+
+// TestReclaimReleasesLogReferences checks that reclamation actually frees
+// memory: compacting with history[:0] keeps dropped entries alive in the
+// backing array unless the tail is zeroed, so the dropped slots must hold
+// no oplog.Log references after reclaimLocked runs.
+func TestReclaimReleasesLogReferences(t *testing.T) {
+	r := New(Config{ReclaimLogs: true}, initialState())
+	for ct := int64(2); ct <= 6; ct++ {
+		r.history = append(r.history, histEntry{
+			commitTime: ct,
+			task:       int(ct),
+			log:        oplog.Log{&oplog.Event{Task: int(ct)}},
+		})
+	}
+	r.clock.Store(7)
+	r.begins[1] = 4 // active transaction began at 4: entries ≤ 4 reclaimable
+	backing := r.history
+	collected := make(chan struct{}, 1)
+	runtime.SetFinalizer(backing[0].log[0], func(*oplog.Event) { collected <- struct{}{} })
+
+	r.histMu.Lock()
+	r.reclaimLocked()
+	r.histMu.Unlock()
+
+	if len(r.history) != 2 {
+		t.Fatalf("kept %d entries, want 2 (commit times 5, 6)", len(r.history))
+	}
+	if got := atomic.LoadInt64(&r.stats.Reclaimed); got != 3 {
+		t.Fatalf("Reclaimed = %d, want 3", got)
+	}
+	for i := len(r.history); i < len(backing); i++ {
+		if backing[i].log != nil {
+			t.Errorf("dropped slot %d still references its log", i)
+		}
+	}
+	// With the slot zeroed, the reclaimed entry's log is unreachable and
+	// its events become collectable.
+	for i := 0; i < 20; i++ {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		default:
+		}
+	}
+	t.Fatalf("reclaimed log entry was never garbage-collected")
 }
 
 func TestPrivatizeString(t *testing.T) {

@@ -239,6 +239,11 @@ type Config struct {
 	ReclaimLogs bool
 	// MaxRetries guards against livelock in tests (0 = unlimited).
 	MaxRetries int
+	// CacheShards sets the commutativity cache's shard count (rounded up
+	// to a power of two; 0 = default). More shards cut lock contention
+	// between concurrent detection queries during training and online
+	// learning; frozen caches are lock-free regardless.
+	CacheShards int
 	// SkipTrainingVerify disables training-time verification (concrete
 	// Figure 8 validation and SAT equivalence checks).
 	SkipTrainingVerify bool
@@ -274,6 +279,7 @@ func New(cfg Config) *Runner {
 		InferWAW:           cfg.InferWAW,
 		Relax:              cfg.Relax,
 		SkipVerify:         cfg.SkipTrainingVerify,
+		CacheShards:        cfg.CacheShards,
 	})}
 	if cfg.Trace != nil {
 		obs.Publish("janus.obs", cfg.Trace)
@@ -295,6 +301,13 @@ func (r *Runner) DebugAddr() (string, error) { return r.obsAddr, r.obsErr }
 func (r *Runner) Train(initial *State, tasks []Task) error {
 	return r.engine.Train(initial, tasks)
 }
+
+// Freeze marks training complete: the commutativity cache becomes
+// read-only and production lookups stop taking locks entirely. Further
+// Train/LoadSpec calls are rejected or ignored, so call it only after the
+// last training payload. A no-op under Config.LearnOnline, which must
+// keep writing during parallel runs.
+func (r *Runner) Freeze() { r.engine.Freeze() }
 
 // TrainingReports returns the per-payload training summaries.
 func (r *Runner) TrainingReports() []*train.Report { return r.engine.Reports() }

@@ -99,6 +99,50 @@ func TestTrainThenRun(t *testing.T) {
 	}
 }
 
+func TestFreezeAfterTraining(t *testing.T) {
+	st := exampleState()
+	var tasks []Task
+	for i := 1; i <= 10; i++ {
+		tasks = append(tasks, identityTask(int64(i)))
+	}
+	r := New(Config{Threads: 4, Detection: DetectSequence, CacheShards: 4})
+	if err := r.Train(st, tasks[:3]); err != nil {
+		t.Fatal(err)
+	}
+	entries := r.CacheStats().Entries
+	if entries == 0 {
+		t.Fatal("training produced no cache entries")
+	}
+	var spec bytes.Buffer
+	if err := r.SaveSpec(&spec); err != nil {
+		t.Fatal(err)
+	}
+	r.Freeze()
+	_, stats, err := r.Run(st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Run.Commits != 10 || stats.Run.Retries != 0 {
+		t.Fatalf("frozen run: commits=%d retries=%d", stats.Run.Commits, stats.Run.Retries)
+	}
+	if err := r.LoadSpec(bytes.NewReader(spec.Bytes())); err == nil {
+		t.Fatal("LoadSpec into a frozen runner must fail")
+	}
+	if got := r.CacheStats().Entries; got != entries {
+		t.Fatalf("frozen cache contents changed: %d -> %d entries", entries, got)
+	}
+
+	// LearnOnline runners must stay writable: Freeze is a no-op there.
+	lo := New(Config{Threads: 2, Detection: DetectSequence, LearnOnline: true})
+	lo.Freeze()
+	if err := lo.LoadSpec(bytes.NewReader(spec.Bytes())); err != nil {
+		t.Fatalf("LoadSpec after no-op Freeze: %v", err)
+	}
+	if _, _, err := lo.Run(exampleState(), tasks[:4]); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunInOrderPreservesOrder(t *testing.T) {
 	st := exampleState()
 	push := func(v int64) Task {
