@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench bench-contention trace clean
+.PHONY: all vet build test race check bench bench-contention chaos soak trace clean
 
 all: check
 
@@ -17,7 +17,17 @@ test:
 race:
 	$(GO) test -race -count=1 . ./internal/stm ./internal/conflict ./internal/obs ./internal/cache ./internal/vtime
 
-check: vet build test race
+# Short chaos soak under the race detector (mirrors CI): fault-injected
+# runs whose final state is checked against the sequential oracle.
+chaos:
+	$(GO) test -race -count=1 -run Chaos ./internal/...
+
+# Long soak: many more seeds per configuration. Not part of `check`; run
+# before releases or when touching the STM commit path.
+soak:
+	$(GO) test -race -count=1 -run Chaos -chaos.seeds=200 -timeout 30m ./internal/chaos
+
+check: vet build test race chaos
 
 bench:
 	$(GO) run ./cmd/janus-bench

@@ -21,6 +21,20 @@
 //	    emit full RunStats + CacheStats + timing as JSON
 //	janus-bench -obs :6060 ...
 //	    serve /debug/vars (expvar) and /debug/pprof during the run
+//
+// Robustness:
+//
+//	janus-bench -json -chaos 42 -workloads jfilesync
+//	    profile under deterministic fault injection (forced aborts,
+//	    stretched commit windows, forced cache misses) with seed 42;
+//	    the report carries the injected-fault counts
+//	janus-bench -json -serialize-after 8 -backoff 50us ...
+//	    enable contention management: bounded exponential backoff and
+//	    escalation to irrevocable serial mode after 8 consecutive aborts
+//
+// A failed run (task error, retry-guard livelock) exits nonzero and, in
+// JSON mode, carries the failure in the report's `error` field instead of
+// presenting partial stats as success.
 package main
 
 import (
@@ -52,10 +66,16 @@ func main() {
 		detName  = flag.String("detector", "seq", "detector for profiled runs: seq or ws")
 		obsAddr  = flag.String("obs", "", "serve /debug/vars and /debug/pprof on this address (e.g. :6060)")
 		shards   = flag.Int("cacheshards", 0, "commutativity-cache shard count, rounded up to a power of two (0 = default)")
+		chaosSd  = flag.Int64("chaos", 0, "run profiled runs under deterministic fault injection with this seed (0 = off): forced aborts, stretched commit windows, forced cache misses")
+		serAfter = flag.Int("serialize-after", 0, "escalate a task to irrevocable serial mode after this many consecutive aborts (0 = never)")
+		backoff  = flag.Duration("backoff", 0, "base of the bounded exponential retry backoff, e.g. 50us (0 = retry immediately)")
 	)
 	flag.Parse()
 
-	opts := bench.Opts{ProdRuns: *runs, CacheShards: *shards}
+	opts := bench.Opts{
+		ProdRuns: *runs, CacheShards: *shards,
+		ChaosSeed: *chaosSd, SerializeAfter: *serAfter, BackoffBase: *backoff,
+	}
 	switch *size {
 	case "production":
 		opts.Size = workloads.Production
@@ -102,6 +122,9 @@ func main() {
 	if *traceOut != "" || *jsonOut {
 		profile(out, opts, *traceOut, *jsonOut, *detName)
 		return
+	}
+	if *chaosSd != 0 || *serAfter != 0 || *backoff != 0 {
+		fatalf("-chaos/-serialize-after/-backoff apply to profiled wall-clock runs; add -json or -trace")
 	}
 	wantFig := func(n int) bool { return *figure == 0 && *table == 0 || *figure == n }
 	wantTab := func(n int) bool { return *figure == 0 && *table == 0 || *table == n }
@@ -152,6 +175,7 @@ func profile(out *os.File, opts bench.Opts, traceOut string, jsonOut bool, detNa
 	}
 	threads := opts.Threads[len(opts.Threads)-1]
 	var reports []bench.RunReport
+	failed := false
 	for _, name := range names {
 		w, err := workloads.ByName(name)
 		check(err)
@@ -160,9 +184,17 @@ func profile(out *os.File, opts bench.Opts, traceOut string, jsonOut bool, detNa
 			tracer = obs.NewTrace(0)
 			obs.Publish("janus.obs", tracer)
 		}
+		// A failed run still yields a report: the error lands in the
+		// JSON `error` field (with whatever partial stats were gathered)
+		// and the process exits nonzero, instead of reporting partial
+		// stats as success.
 		rep, err := bench.ProfileRun(w, det, threads, opts, tracer)
-		check(err)
 		reports = append(reports, rep)
+		if err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "janus-bench: %s failed: %v\n", name, err)
+			continue
+		}
 		if traceOut != "" {
 			f, err := os.Create(traceOut)
 			check(err)
@@ -174,14 +206,29 @@ func profile(out *os.File, opts bench.Opts, traceOut string, jsonOut bool, detNa
 	}
 	if jsonOut {
 		check(bench.WriteJSON(out, reports))
-		return
-	}
-	for _, rep := range reports {
-		fmt.Fprintf(out, "%s: detector=%s threads=%d tasks=%d commits=%d retries=%d speedup=%.2f\n",
-			rep.Workload, rep.Detector, rep.Threads, rep.Tasks, rep.Run.Commits, rep.Run.Retries, rep.Speedup)
-		if len(rep.Run.AbortReasons) > 0 {
-			fmt.Fprintf(out, "  abort reasons: %v\n", rep.Run.AbortReasons)
+	} else {
+		for _, rep := range reports {
+			if rep.Error != "" {
+				fmt.Fprintf(out, "%s: detector=%s threads=%d FAILED: %s\n",
+					rep.Workload, rep.Detector, rep.Threads, rep.Error)
+				continue
+			}
+			fmt.Fprintf(out, "%s: detector=%s threads=%d tasks=%d commits=%d retries=%d speedup=%.2f\n",
+				rep.Workload, rep.Detector, rep.Threads, rep.Tasks, rep.Run.Commits, rep.Run.Retries, rep.Speedup)
+			if rep.Run.Escalations > 0 || rep.Run.BackoffWaits > 0 {
+				fmt.Fprintf(out, "  contention: escalations=%d backoff-waits=%d\n",
+					rep.Run.Escalations, rep.Run.BackoffWaits)
+			}
+			if rep.Chaos != nil {
+				fmt.Fprintf(out, "  chaos(seed=%d): %+v\n", rep.ChaosSeed, *rep.Chaos)
+			}
+			if len(rep.Run.AbortReasons) > 0 {
+				fmt.Fprintf(out, "  abort reasons: %v\n", rep.Run.AbortReasons)
+			}
 		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

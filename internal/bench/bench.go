@@ -82,6 +82,17 @@ type Opts struct {
 	// CacheShards overrides the commutativity cache's shard count
 	// (0 = cache.DefaultShards).
 	CacheShards int
+	// SerializeAfter escalates starving transactions to irrevocable
+	// serial mode after this many consecutive aborts in profiled runs
+	// (0 = never).
+	SerializeAfter int
+	// BackoffBase enables bounded exponential retry backoff in profiled
+	// runs (0 = retry immediately).
+	BackoffBase time.Duration
+	// ChaosSeed, when nonzero, runs profiled runs under deterministic
+	// fault injection (internal/chaos) with this seed: forced aborts,
+	// stretched commit windows, and forced commutativity-cache misses.
+	ChaosSeed int64
 }
 
 func (o Opts) defaults() Opts {

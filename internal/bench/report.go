@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/chaos"
 	"repro/internal/conflict"
 	"repro/internal/obs"
 	"repro/internal/stm"
@@ -33,6 +34,19 @@ type RunReport struct {
 	Run          stm.Stats      `json:"run"`
 	Conflict     conflict.Stats `json:"conflict"`
 	Cache        cache.Stats    `json:"cache"`
+	// SerializeAfter / BackoffBaseNs echo the contention-management knobs
+	// the run used (omitted when disabled).
+	SerializeAfter int   `json:"serialize_after,omitempty"`
+	BackoffBaseNs  int64 `json:"backoff_base_ns,omitempty"`
+	// ChaosSeed and Chaos report fault injection: the seed the injector
+	// ran with and the faults it actually delivered. Omitted when the run
+	// was not chaos-enabled.
+	ChaosSeed int64        `json:"chaos_seed,omitempty"`
+	Chaos     *chaos.Stats `json:"chaos,omitempty"`
+	// Error is the run's failure, when it failed: the report then carries
+	// whatever partial accounting was gathered, and consumers must treat
+	// the run as unsuccessful (janus-bench exits nonzero).
+	Error string `json:"error,omitempty"`
 	// Trace summarizes the attached tracer (event counts, latency
 	// histograms) when one was supplied.
 	Trace map[string]any `json:"trace,omitempty"`
@@ -41,50 +55,70 @@ type RunReport struct {
 // ProfileRun trains the hindsight engine for w (unless the write-set
 // baseline is selected), executes one wall-clock production run with the
 // given tracer attached, and returns the full accounting. tracer may be
-// nil for untraced JSON reports.
+// nil for untraced JSON reports. On failure the returned report carries
+// the error and any partial stats alongside the non-nil error, so callers
+// can emit a machine-readable failure record instead of dropping the run.
 func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, tracer *obs.Trace) (RunReport, error) {
 	o = o.defaults()
 	tasks := w.Tasks(o.Size, prodSeed)
 	rep := RunReport{
-		Workload: w.Name,
-		Detector: det.String(),
-		Threads:  threads,
-		Size:     o.Size.String(),
-		Tasks:    len(tasks),
+		Workload:       w.Name,
+		Detector:       det.String(),
+		Threads:        threads,
+		Size:           o.Size.String(),
+		Tasks:          len(tasks),
+		SerializeAfter: o.SerializeAfter,
+		BackoffBaseNs:  int64(o.BackoffBase),
+		ChaosSeed:      o.ChaosSeed,
+	}
+	fail := func(err error) (RunReport, error) {
+		rep.Error = err.Error()
+		return rep, err
 	}
 
 	engine, err := o.trainEngine(w, false)
 	if err != nil {
-		return RunReport{}, fmt.Errorf("bench: training %s: %w", w.Name, err)
+		return fail(fmt.Errorf("bench: training %s: %w", w.Name, err))
 	}
 	engine.Cache().ResetStats()
 
 	seqStart := time.Now()
 	if _, err := stm.RunSequential(w.NewState(), tasks); err != nil {
-		return RunReport{}, fmt.Errorf("bench: sequential %s: %w", w.Name, err)
+		return fail(fmt.Errorf("bench: sequential %s: %w", w.Name, err))
 	}
 	rep.SequentialNs = int64(time.Since(seqStart))
 
 	d := o.detectorFor(engine, det)
+	var inj *chaos.Injector
+	var hooks *stm.Hooks
+	if o.ChaosSeed != 0 {
+		inj = chaos.New(chaos.Config{
+			Seed:      o.ChaosSeed,
+			AbortProb: 0.25, AbortMaxPerTask: 3,
+			DelayProb: 0.2, MaxDelay: 200 * time.Microsecond,
+			MissProb: 0.25,
+		})
+		hooks = inj.Hooks()
+		if seq, ok := d.(*conflict.Sequence); ok {
+			seq.ForceMiss = inj.ForceMiss
+		}
+	}
 	var tr obs.Tracer
 	if tracer != nil {
 		tr = tracer
 	}
 	start := time.Now()
 	_, stats, err := stm.Run(stm.Config{
-		Threads:   threads,
-		Ordered:   w.Ordered,
-		Detector:  d,
-		Privatize: stm.PrivatizePersistent,
-		Tracer:    tr,
+		Threads:        threads,
+		Ordered:        w.Ordered,
+		Detector:       d,
+		Privatize:      stm.PrivatizePersistent,
+		Tracer:         tr,
+		Backoff:        stm.Backoff{Base: o.BackoffBase},
+		SerializeAfter: o.SerializeAfter,
+		Hooks:          hooks,
 	}, w.NewState(), tasks)
-	if err != nil {
-		return RunReport{}, fmt.Errorf("bench: %s/%s/%d: %w", w.Name, det, threads, err)
-	}
 	rep.ElapsedNs = int64(time.Since(start))
-	if rep.ElapsedNs > 0 {
-		rep.Speedup = float64(rep.SequentialNs) / float64(rep.ElapsedNs)
-	}
 	rep.Run = stats
 	switch dd := d.(type) {
 	case *conflict.WriteSet:
@@ -95,8 +129,18 @@ func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, trace
 	rep.Cache = engine.Cache().Stats()
 	rep.CacheShards = engine.Cache().NumShards()
 	rep.CacheFrozen = engine.Cache().Frozen()
+	if inj != nil {
+		cs := inj.Stats()
+		rep.Chaos = &cs
+	}
 	if tracer != nil {
 		rep.Trace = tracer.Vars()
+	}
+	if err != nil {
+		return fail(fmt.Errorf("bench: %s/%s/%d: %w", w.Name, det, threads, err))
+	}
+	if rep.ElapsedNs > 0 {
+		rep.Speedup = float64(rep.SequentialNs) / float64(rep.ElapsedNs)
 	}
 	return rep, nil
 }

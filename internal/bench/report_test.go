@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/state"
+	"repro/internal/stm"
+	"repro/internal/workloads"
+)
+
+// failingWorkload is a synthetic benchmark whose training runs succeed but
+// whose production task set (prodSeed) panics partway through, exercising
+// the failure path of ProfileRun.
+func failingWorkload() *workloads.Workload {
+	return &workloads.Workload{
+		Name: "synthetic-failure",
+		Desc: "panics on the production input only",
+		NewState: func() *state.State {
+			st := state.New()
+			st.Set("work", state.Int(0))
+			return st
+		},
+		Tasks: func(size workloads.Size, seed int64) []adt.Task {
+			add := func(n int64) adt.Task {
+				return func(ex adt.Executor) error {
+					return adt.Counter{L: "work"}.Add(ex, n)
+				}
+			}
+			tasks := []adt.Task{add(1), add(2), add(3)}
+			if seed == prodSeed {
+				tasks = append(tasks, func(adt.Executor) error {
+					panic("synthetic production fault")
+				})
+			}
+			return tasks
+		},
+	}
+}
+
+func TestProfileRunFailureReport(t *testing.T) {
+	w := failingWorkload()
+	rep, err := ProfileRun(w, Seq, 2, Opts{Size: workloads.Small}, nil)
+	if err == nil {
+		t.Fatal("ProfileRun on a panicking workload returned nil error")
+	}
+	var pe *stm.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v does not unwrap to *stm.PanicError", err)
+	}
+	if rep.Error == "" || !strings.Contains(rep.Error, "panicked") {
+		t.Fatalf("report Error = %q, want the panic surfaced", rep.Error)
+	}
+	if !strings.Contains(err.Error(), rep.Error) && rep.Error != err.Error() {
+		t.Fatalf("report Error %q inconsistent with err %v", rep.Error, err)
+	}
+	if rep.Workload != "synthetic-failure" || rep.Tasks != 4 {
+		t.Fatalf("partial report lost identity: %+v", rep)
+	}
+	// The failure record must survive the JSON round trip consumers see.
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []RunReport{rep}); err != nil {
+		t.Fatal(err)
+	}
+	var back []RunReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Error != rep.Error {
+		t.Fatalf("error field lost in JSON round trip: %+v", back)
+	}
+}
+
+func TestProfileRunChaosReport(t *testing.T) {
+	w, err := workloads.ByName("jfilesync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Opts{
+		Size:           workloads.Small,
+		ChaosSeed:      42,
+		SerializeAfter: 8,
+		BackoffBase:    20 * time.Microsecond,
+	}
+	rep, err := ProfileRun(w, Seq, 2, opts, nil)
+	if err != nil {
+		t.Fatalf("chaos-enabled run failed: %v", err)
+	}
+	if rep.Error != "" {
+		t.Fatalf("successful run carries Error %q", rep.Error)
+	}
+	if rep.ChaosSeed != 42 || rep.Chaos == nil {
+		t.Fatalf("chaos accounting missing: seed=%d stats=%v", rep.ChaosSeed, rep.Chaos)
+	}
+	if rep.SerializeAfter != 8 || rep.BackoffBaseNs != int64(20*time.Microsecond) {
+		t.Fatalf("contention knobs not echoed: %+v", rep)
+	}
+	if rep.Run.Commits != int64(rep.Tasks) {
+		t.Fatalf("commits %d != tasks %d under chaos", rep.Run.Commits, rep.Tasks)
+	}
+}

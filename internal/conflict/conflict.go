@@ -54,6 +54,9 @@ const (
 	ReasonTheory
 	// ReasonOnline: the concrete online sequence check found a conflict.
 	ReasonOnline
+	// ReasonInjected: a fault injector (internal/chaos) forced the abort;
+	// no detector check actually failed.
+	ReasonInjected
 
 	// NumReasons bounds per-reason counter arrays.
 	NumReasons
@@ -76,6 +79,8 @@ func (r Reason) String() string {
 		return "theory"
 	case ReasonOnline:
 		return "online"
+	case ReasonInjected:
+		return "injected"
 	default:
 		return "none"
 	}
@@ -320,6 +325,13 @@ type Sequence struct {
 	// execution.
 	InferWAW bool
 
+	// ForceMiss, when non-nil, is consulted before each commutativity-
+	// cache lookup with the querying transaction's (task, attempt); true
+	// makes the lookup behave as a miss without touching the cache, so the
+	// fallback paths the trained cache normally hides stay exercised. A
+	// fault-injection hook (internal/chaos); nil in production.
+	ForceMiss func(task, attempt int) bool
+
 	stats   Stats
 	reasons reasonCounts
 }
@@ -417,7 +429,7 @@ func (s *Sequence) pairVerdict(ctx obs.Ctx, snapshot *state.State, p, q oplog.PL
 	if s.InferWAW && !s.inferWAWConflicts(seqT, seqC) {
 		return Verdict{}
 	}
-	if s.Cache != nil {
+	if s.Cache != nil && (s.ForceMiss == nil || !s.ForceMiss(int(ctx.Task), int(ctx.Attempt))) {
 		symsT, symsC := seqT.Syms(), seqC.Syms()
 		hitConflict, failed, hit := s.Cache.LookupDetail(symsT, symsC)
 		if hit {

@@ -12,11 +12,14 @@
 package stm
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/adt"
 	"repro/internal/conflict"
@@ -47,6 +50,75 @@ func (p Privatize) String() string {
 	return "copy"
 }
 
+// Backoff configures contention management between retry attempts: after
+// an abort the task sleeps before re-executing, with an exponentially
+// growing, jittered, bounded wait, instead of immediately re-running
+// speculation that is statistically likely to abort again. The jitter is
+// a pure function of (task, attempt) — not a shared PRNG — so two runs
+// back off identically and tests are reproducible, while distinct tasks
+// still decorrelate.
+type Backoff struct {
+	// Base is the wait ceiling after the first abort; 0 disables backoff
+	// (the attempt retries immediately, the pre-contention-management
+	// behavior).
+	Base time.Duration
+	// Max bounds the exponential growth; 0 means 64×Base.
+	Max time.Duration
+}
+
+// wait returns the jittered sleep before retry number attempt (1-based),
+// drawn from [ceil/2, ceil) where ceil = min(Base<<(attempt-1), Max).
+func (b Backoff) wait(task, attempt int) time.Duration {
+	if b.Base <= 0 || attempt <= 0 {
+		return 0
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 64 * b.Base
+	}
+	ceil := b.Base
+	for i := 1; i < attempt && ceil < max; i++ {
+		ceil *= 2
+	}
+	if ceil > max {
+		ceil = max
+	}
+	half := ceil / 2
+	if span := ceil - half; span > 0 {
+		half += time.Duration(mix64(uint64(task)<<32^uint64(attempt)) % uint64(span))
+	}
+	return half
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche hash used for
+// deterministic backoff jitter.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hooks are optional fault-injection points for robustness testing (see
+// internal/chaos). Production runs leave them nil; every call site costs
+// one nil check. The runtime's guarantees (serializability, termination)
+// must hold under any combination of injected faults — that invariant is
+// what the chaos soak tests assert.
+type Hooks struct {
+	// ForceAbort is consulted once per validation pass with the
+	// transaction's (task, attempt); returning true aborts the attempt as
+	// if the detector had found a conflict (abort reason "injected").
+	ForceAbort func(task, attempt int) bool
+	// WindowDelay runs after a successful validation and before the
+	// commit attempt, with no locks held — it widens the detect-to-commit
+	// race window that the commit-time clock re-check guards.
+	WindowDelay func(task int)
+	// CommitDelay runs inside the commit critical section (write lock
+	// held, clock check passed), before the log replays — it stretches
+	// the serial commit window every other transaction races against.
+	CommitDelay func(task int)
+}
+
 // Config parameterizes a Runtime.
 type Config struct {
 	// Threads is the worker count; 0 means GOMAXPROCS.
@@ -72,6 +144,17 @@ type Config struct {
 	// tracer costs a single branch per event site — the hot path does
 	// not allocate.
 	Tracer obs.Tracer
+	// Backoff configures bounded exponential retry backoff with jitter
+	// after aborts; the zero value retries immediately.
+	Backoff Backoff
+	// SerializeAfter escalates a transaction to irrevocable serial mode
+	// after this many consecutive aborts: it takes the global write lock,
+	// re-executes alone, and commits unconditionally, so progress is
+	// guaranteed under pathological contention instead of burning CPU on
+	// doomed speculation. 0 never escalates.
+	SerializeAfter int
+	// Hooks are fault-injection points (tests only); nil in production.
+	Hooks *Hooks
 }
 
 // Stats reports a run's behavior.
@@ -82,6 +165,11 @@ type Stats struct {
 	Conflicts int64 // conflict detections that failed
 	Reclaimed int64 // history entries reclaimed
 	MaxHist   int64 // peak committed-history length
+	// BackoffWaits counts backoff sleeps taken between retry attempts.
+	BackoffWaits int64
+	// Escalations counts transactions that ran in irrevocable serial
+	// mode after SerializeAfter consecutive aborts.
+	Escalations int64
 	// AbortReasons breaks Conflicts down by the detector check that
 	// failed (reason name → count); nil when no conflicts occurred.
 	AbortReasons map[string]int64
@@ -165,17 +253,69 @@ func New(cfg Config, initial *state.State) *Runtime {
 // Run executes the tasks to completion and returns the final shared state
 // and run statistics. It is DOPARALLEL of Figure 7.
 func Run(cfg Config, initial *state.State, tasks []adt.Task) (*state.State, Stats, error) {
+	return RunCtx(context.Background(), cfg, initial, tasks)
+}
+
+// RunCtx is Run with cancellation: when ctx is canceled or its deadline
+// passes, in-flight transactions abort at their next protocol step
+// (attempt boundary, validation loop, backoff sleep), ordered-mode
+// waiters are woken, the workers drain cleanly, and the context's cause
+// is returned (errors.Is against context.Canceled/DeadlineExceeded
+// works). A task body that never returns cannot be preempted — Go offers
+// no goroutine kill — so cancellation latency is bounded by the longest
+// single task execution.
+func RunCtx(ctx context.Context, cfg Config, initial *state.State, tasks []adt.Task) (*state.State, Stats, error) {
 	r := New(cfg, initial)
+	if ctx.Done() != nil {
+		// An already-expired context fails synchronously: AfterFunc runs
+		// its callback on a fresh goroutine, which a fast run could
+		// otherwise race past.
+		if ctx.Err() != nil {
+			return nil, r.statsSnapshot(), fmt.Errorf("stm: run canceled: %w", context.Cause(ctx))
+		}
+		stop := context.AfterFunc(ctx, func() {
+			r.fail(fmt.Errorf("stm: run canceled: %w", context.Cause(ctx)))
+		})
+		defer stop()
+	}
 	return r.run(tasks)
 }
 
+// PanicError is what a recovered task panic converts to: the task id, the
+// panic value, and the goroutine stack captured at the panic site. One
+// panicking task fails the run with this error instead of tearing down
+// the whole process.
+type PanicError struct {
+	Task  int
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("task %d panicked: %v", e.Task, e.Value)
+}
+
+// runTaskBody executes one task body, converting a panic into a
+// *PanicError. The recover runs on the worker's goroutine at panic time,
+// so the captured stack names the panic site inside the task.
+func runTaskBody(task adt.Task, ex adt.Executor, tid int) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Task: tid, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return task(ex)
+}
+
 // RunSequential executes the tasks one at a time without synchronization,
-// the paper's sequential baseline. The initial state is not mutated.
+// the paper's sequential baseline. The initial state is not mutated. Task
+// panics are recovered and returned as *PanicError, matching Run.
 func RunSequential(initial *state.State, tasks []adt.Task) (*state.State, error) {
 	st := initial.Clone()
 	ex := &directExec{st: st}
 	for i, t := range tasks {
-		if err := t(ex); err != nil {
+		if err := runTaskBody(t, ex, i+1); err != nil {
 			return nil, fmt.Errorf("stm: sequential task %d: %w", i+1, err)
 		}
 	}
@@ -208,6 +348,19 @@ func (r *Runtime) failed() bool {
 	}
 }
 
+// runErr returns the failure, if any. The read of r.err is ordered by the
+// done-channel close (fail writes err, then closes), which matters now
+// that fail can be called from a context watcher goroutine the WaitGroup
+// never joins.
+func (r *Runtime) runErr() error {
+	select {
+	case <-r.done:
+		return r.err
+	default:
+		return nil
+	}
+}
+
 func (r *Runtime) run(tasks []adt.Task) (*state.State, Stats, error) {
 	r.stats.Tasks = len(tasks)
 	next := make(chan int, len(tasks))
@@ -220,7 +373,20 @@ func (r *Runtime) run(tasks []adt.Task) (*state.State, Stats, error) {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			// Backstop: task-body panics are recovered in runTaskBody
+			// with the task's identity; this catches panics in the
+			// protocol code itself so a bug here fails the run (waking
+			// ordered-mode waiters via fail's broadcast) rather than
+			// killing the process with peers blocked on commitCond.
+			current := 0
+			defer func() {
+				if p := recover(); p != nil {
+					r.fail(fmt.Errorf("stm: worker %d: %w",
+						worker, &PanicError{Task: current, Value: p, Stack: debug.Stack()}))
+				}
+			}()
 			for idx := range next {
+				current = idx + 1
 				if r.failed() {
 					return
 				}
@@ -229,20 +395,22 @@ func (r *Runtime) run(tasks []adt.Task) (*state.State, Stats, error) {
 		}(w)
 	}
 	wg.Wait()
-	if r.err != nil {
-		return nil, r.statsSnapshot(), r.err
+	if err := r.runErr(); err != nil {
+		return nil, r.statsSnapshot(), err
 	}
 	return r.finalState(), r.statsSnapshot(), nil
 }
 
 func (r *Runtime) statsSnapshot() Stats {
 	s := Stats{
-		Tasks:     r.stats.Tasks,
-		Commits:   atomic.LoadInt64(&r.stats.Commits),
-		Retries:   atomic.LoadInt64(&r.stats.Retries),
-		Conflicts: atomic.LoadInt64(&r.stats.Conflicts),
-		Reclaimed: atomic.LoadInt64(&r.stats.Reclaimed),
-		MaxHist:   atomic.LoadInt64(&r.stats.MaxHist),
+		Tasks:        r.stats.Tasks,
+		Commits:      atomic.LoadInt64(&r.stats.Commits),
+		Retries:      atomic.LoadInt64(&r.stats.Retries),
+		Conflicts:    atomic.LoadInt64(&r.stats.Conflicts),
+		Reclaimed:    atomic.LoadInt64(&r.stats.Reclaimed),
+		MaxHist:      atomic.LoadInt64(&r.stats.MaxHist),
+		BackoffWaits: atomic.LoadInt64(&r.stats.BackoffWaits),
+		Escalations:  atomic.LoadInt64(&r.stats.Escalations),
 	}
 	for reason := conflict.Reason(1); reason < conflict.NumReasons; reason++ {
 		if n := atomic.LoadInt64(&r.abortReasons[reason]); n > 0 {
@@ -270,7 +438,12 @@ func (r *Runtime) finalState() *state.State {
 
 // runTask is RUNTASK of Figure 7: retry until commit. The whole service
 // time (all attempts through the successful commit) is traced as one
-// EvTask span on the worker's lane.
+// EvTask span on the worker's lane. Contention management wraps the
+// retry loop: aborted attempts back off with bounded exponential jitter
+// (Config.Backoff), and after Config.SerializeAfter consecutive aborts
+// the transaction escalates to irrevocable serial mode, which cannot
+// abort — so retries per transaction are bounded by SerializeAfter even
+// against an adversarial detector.
 func (r *Runtime) runTask(task adt.Task, tid, worker int) {
 	ctx := obs.Ctx{T: r.tracer, Worker: int32(worker), Task: int32(tid)}
 	start := ctx.Now()
@@ -280,14 +453,23 @@ func (r *Runtime) runTask(task adt.Task, tid, worker int) {
 			return
 		}
 		ctx.Attempt = int32(retries + 1)
-		ok, err := r.attempt(ctx, task, tid)
+		var committed bool
+		var err error
+		if r.cfg.SerializeAfter > 0 && retries >= r.cfg.SerializeAfter {
+			committed, err = r.attemptSerial(ctx, task, tid)
+		} else {
+			committed, err = r.attempt(ctx, task, tid)
+		}
 		if err != nil {
 			r.fail(fmt.Errorf("stm: task %d: %w", tid, err))
 			return
 		}
-		if ok {
+		if committed {
 			atomic.AddInt64(&r.stats.Commits, 1)
 			ctx.End(obs.EvTask, start)
+			return
+		}
+		if r.failed() {
 			return
 		}
 		atomic.AddInt64(&r.stats.Retries, 1)
@@ -296,6 +478,27 @@ func (r *Runtime) runTask(task adt.Task, tid, worker int) {
 			r.fail(fmt.Errorf("stm: task %d exceeded %d retries", tid, r.cfg.MaxRetries))
 			return
 		}
+		if wait := r.cfg.Backoff.wait(tid, retries); wait > 0 {
+			atomic.AddInt64(&r.stats.BackoffWaits, 1)
+			waitStart := ctx.Now()
+			if !r.sleep(wait) {
+				return // run failed or canceled mid-backoff
+			}
+			ctx.End(obs.EvTxBackoff, waitStart)
+		}
+	}
+}
+
+// sleep blocks for d or until the run fails/cancels, reporting whether
+// the full wait elapsed.
+func (r *Runtime) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.done:
+		return false
 	}
 }
 
@@ -333,7 +536,7 @@ func (r *Runtime) attempt(ctx obs.Ctx, task adt.Task, tid int) (committed bool, 
 	ctx.Instant(obs.EvTxBegin)
 
 	runStart := ctx.Now()
-	if err := task(tx); err != nil {
+	if err := runTaskBody(task, tx, tid); err != nil {
 		return false, err
 	}
 	ctx.End(obs.EvTxRun, runStart)
@@ -370,6 +573,11 @@ func (r *Runtime) attempt(ctx obs.Ctx, task adt.Task, tid int) (committed bool, 
 			r.lock.RUnlock()
 			seen = now
 		}
+		if h := r.cfg.Hooks; h != nil && h.ForceAbort != nil && h.ForceAbort(tid, int(ctx.Attempt)) {
+			atomic.AddInt64(&r.abortReasons[conflict.ReasonInjected], 1)
+			ctx.Abort(conflict.ReasonInjected.String(), "", "")
+			return false, nil
+		}
 		valStart := ctx.Now()
 		verdict := r.detector.DetectV(ctx, tx.snap, tx.log, opsC)
 		ctx.End(obs.EvTxValidate, valStart)
@@ -384,6 +592,9 @@ func (r *Runtime) attempt(ctx obs.Ctx, task adt.Task, tid int) (committed bool, 
 				ctx.Abort(verdict.Reason.String(), string(verdict.P), detail)
 			}
 			return false, nil // abort; RUNTASK retries from scratch
+		}
+		if h := r.cfg.Hooks; h != nil && h.WindowDelay != nil {
+			h.WindowDelay(tid)
 		}
 		commitStart := ctx.Now()
 		if r.commit(tx, now) {
@@ -455,20 +666,33 @@ func (r *Runtime) commit(tx *Tx, tcheck int64) bool {
 	if r.clock.Load() != tcheck {
 		return false
 	}
-	if r.cfg.Privatize == PrivatizePersistent {
-		if err := r.replayPersistent(tx.log); err != nil {
-			r.fail(err)
-			return false
-		}
-	} else {
-		if err := tx.log.Replay(r.shared); err != nil {
-			r.fail(err)
-			return false
-		}
+	if h := r.cfg.Hooks; h != nil && h.CommitDelay != nil {
+		h.CommitDelay(tx.tid)
 	}
+	if err := r.replayLocked(tx.log); err != nil {
+		r.fail(err)
+		return false
+	}
+	r.publishLocked(tx.tid, tx.log)
+	return true
+}
+
+// replayLocked applies a validated log to the shared state under the
+// caller-held write lock, dispatching on the privatization strategy.
+func (r *Runtime) replayLocked(log oplog.Log) error {
+	if r.cfg.Privatize == PrivatizePersistent {
+		return r.replayPersistent(log)
+	}
+	return log.Replay(r.shared)
+}
+
+// publishLocked advances the clock, appends the committed log to the
+// history, reclaims if configured, and wakes ordered-mode waiters. Caller
+// holds the write lock.
+func (r *Runtime) publishLocked(tid int, log oplog.Log) {
 	newClock := r.clock.Add(1)
 	r.histMu.Lock()
-	r.history = append(r.history, histEntry{commitTime: newClock, task: tx.tid, log: tx.log})
+	r.history = append(r.history, histEntry{commitTime: newClock, task: tid, log: log})
 	if n := int64(len(r.history)); n > atomic.LoadInt64(&r.stats.MaxHist) {
 		atomic.StoreInt64(&r.stats.MaxHist, n)
 	}
@@ -477,7 +701,64 @@ func (r *Runtime) commit(tx *Tx, tcheck int64) bool {
 	}
 	r.commitCond.Broadcast()
 	r.histMu.Unlock()
-	return true
+}
+
+// attemptSerial escalates a starving transaction to irrevocable serial
+// mode: it holds the global write lock across execute and commit, so no
+// concurrent commit can invalidate it and no validation is needed — the
+// transaction literally runs alone at the current clock, which makes its
+// commit trivially serializable and guarantees progress under contention
+// no detector-based retry could survive (the Theorem 4.1 termination
+// argument degenerates to "the lock holder finishes"). In ordered mode it
+// first waits for its commit turn, at which point no predecessor can
+// still commit, preserving the task-order serialization.
+func (r *Runtime) attemptSerial(ctx obs.Ctx, task adt.Task, tid int) (committed bool, err error) {
+	atomic.AddInt64(&r.stats.Escalations, 1)
+	serialStart := ctx.Now()
+	if r.cfg.Ordered {
+		waitStart := ctx.Now()
+		r.histMu.Lock()
+		for r.clock.Load() != int64(tid) && !r.failed() {
+			r.commitCond.Wait()
+		}
+		r.histMu.Unlock()
+		ctx.End(obs.EvCommitWait, waitStart)
+	}
+	if r.failed() {
+		return false, nil
+	}
+	r.lock.Lock()
+	defer r.lock.Unlock()
+	if r.failed() {
+		return false, nil
+	}
+	// Build the transaction against the live state; the write lock
+	// freezes the clock, the shared state, and the persistent version for
+	// the duration, so the privatized view cannot go stale.
+	tx := &Tx{tid: tid, begin: r.clock.Load()}
+	if r.cfg.Privatize == PrivatizePersistent {
+		ver := r.version.Load()
+		fault := func(l state.Loc) (state.Value, bool) {
+			return ver.Get(string(l))
+		}
+		tx.priv = state.NewFaulting(fault)
+		tx.snap = state.NewFaulting(fault)
+	} else {
+		tx.priv = r.shared.Clone()
+		tx.snap = tx.priv.Clone()
+	}
+	if err := runTaskBody(task, tx, tid); err != nil {
+		return false, err
+	}
+	if h := r.cfg.Hooks; h != nil && h.CommitDelay != nil {
+		h.CommitDelay(tid)
+	}
+	if err := r.replayLocked(tx.log); err != nil {
+		return false, err
+	}
+	r.publishLocked(tid, tx.log)
+	ctx.End(obs.EvTxSerial, serialStart)
+	return true, nil
 }
 
 // replayPersistent applies the log to a faulting overlay of the current

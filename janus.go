@@ -37,6 +37,7 @@
 package janus
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/adt"
@@ -92,6 +93,16 @@ type (
 	TraceEvent = obs.Event
 	// AbortReason classifies why a detector rejected a transaction.
 	AbortReason = conflict.Reason
+
+	// Backoff configures bounded exponential retry backoff with jitter
+	// between a transaction's abort and its next attempt; the zero value
+	// retries immediately. See Config.Backoff.
+	Backoff = stm.Backoff
+	// PanicError is the error a recovered task panic converts to,
+	// carrying the task id, panic value, and the stack captured at the
+	// panic site. A panicking task fails the run with this error instead
+	// of crashing the process; unwrap it with errors.As.
+	PanicError = stm.PanicError
 
 	// CustomSpec declares a user-defined ADT's relational representation
 	// (§6.1): arbitrary columns with an optional functional dependency
@@ -239,6 +250,17 @@ type Config struct {
 	ReclaimLogs bool
 	// MaxRetries guards against livelock in tests (0 = unlimited).
 	MaxRetries int
+	// Backoff enables contention management: after an abort, the task
+	// waits a bounded, jittered, exponentially growing interval before
+	// retrying instead of immediately re-running speculation that is
+	// likely to abort again. Zero retries immediately.
+	Backoff Backoff
+	// SerializeAfter escalates a transaction to irrevocable serial mode
+	// after this many consecutive aborts: it takes the runtime's global
+	// write lock, re-executes alone, and commits unconditionally, so
+	// starving transactions are guaranteed progress under pathological
+	// contention. 0 never escalates.
+	SerializeAfter int
 	// CacheShards sets the commutativity cache's shard count (rounded up
 	// to a power of two; 0 = default). More shards cut lock contention
 	// between concurrent detection queries during training and online
@@ -348,20 +370,22 @@ func (r *Runner) detector() conflict.Detector {
 	return r.engine.Detector()
 }
 
-func (r *Runner) run(initial *State, tasks []Task, ordered bool) (*State, RunStats, error) {
+func (r *Runner) run(ctx context.Context, initial *State, tasks []Task, ordered bool) (*State, RunStats, error) {
 	det := r.detector()
 	var tracer obs.Tracer
 	if r.cfg.Trace != nil {
 		tracer = r.cfg.Trace
 	}
-	final, stats, err := stm.Run(stm.Config{
-		Threads:     r.cfg.Threads,
-		Ordered:     ordered,
-		Detector:    det,
-		Privatize:   r.cfg.Privatize,
-		MaxRetries:  r.cfg.MaxRetries,
-		ReclaimLogs: r.cfg.ReclaimLogs,
-		Tracer:      tracer,
+	final, stats, err := stm.RunCtx(ctx, stm.Config{
+		Threads:        r.cfg.Threads,
+		Ordered:        ordered,
+		Detector:       det,
+		Privatize:      r.cfg.Privatize,
+		MaxRetries:     r.cfg.MaxRetries,
+		ReclaimLogs:    r.cfg.ReclaimLogs,
+		Tracer:         tracer,
+		Backoff:        r.cfg.Backoff,
+		SerializeAfter: r.cfg.SerializeAfter,
 	}, initial, tasks)
 	rs := RunStats{Run: stats}
 	switch d := det.(type) {
@@ -378,19 +402,34 @@ func (r *Runner) run(initial *State, tasks []Task, ordered bool) (*State, RunSta
 
 // Run executes the tasks in parallel with unordered commits.
 func (r *Runner) Run(initial *State, tasks []Task) (*State, RunStats, error) {
-	return r.run(initial, tasks, false)
+	return r.run(context.Background(), initial, tasks, false)
+}
+
+// RunCtx is Run with cancellation: when ctx is canceled or its deadline
+// passes, in-flight transactions abort at their next protocol step,
+// workers drain cleanly, and the context's error is returned (errors.Is
+// against context.Canceled / context.DeadlineExceeded works). A task body
+// that never returns cannot be preempted, so cancellation latency is
+// bounded by the longest single task execution.
+func (r *Runner) RunCtx(ctx context.Context, initial *State, tasks []Task) (*State, RunStats, error) {
+	return r.run(ctx, initial, tasks, false)
 }
 
 // RunInOrder executes the tasks in parallel with commits following task
 // order (the prototype's runInOrder).
 func (r *Runner) RunInOrder(initial *State, tasks []Task) (*State, RunStats, error) {
-	return r.run(initial, tasks, true)
+	return r.run(context.Background(), initial, tasks, true)
+}
+
+// RunInOrderCtx is RunInOrder with cancellation; see RunCtx.
+func (r *Runner) RunInOrderCtx(ctx context.Context, initial *State, tasks []Task) (*State, RunStats, error) {
+	return r.run(ctx, initial, tasks, true)
 }
 
 // RunOutOfOrder executes the tasks in parallel with unordered commits
 // (the prototype's runOutOfOrder).
 func (r *Runner) RunOutOfOrder(initial *State, tasks []Task) (*State, RunStats, error) {
-	return r.run(initial, tasks, false)
+	return r.run(context.Background(), initial, tasks, false)
 }
 
 // Sequential executes the tasks one at a time with no synchronization —

@@ -2,6 +2,9 @@ package janus
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"testing"
 
 	"repro/internal/obs"
@@ -529,5 +532,79 @@ func TestTracedRunProducesTimeline(t *testing.T) {
 	}
 	if buf.Len() == 0 {
 		t.Fatal("empty Chrome trace")
+	}
+}
+
+func TestRunCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := New(Config{Detection: DetectWriteSet})
+	_, _, err := r.RunCtx(ctx, exampleState(), []Task{addTask(1), addTask(2)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	_, _, err = r.RunInOrderCtx(ctx, exampleState(), []Task{addTask(1)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ordered err = %v, want context.Canceled", err)
+	}
+	// An unexpired context runs to completion.
+	live, liveCancel := context.WithTimeout(context.Background(), time.Minute)
+	defer liveCancel()
+	final, stats, err := r.RunCtx(live, exampleState(), []Task{addTask(1), addTask(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Run.Commits != 2 {
+		t.Fatalf("commits = %d, want 2", stats.Run.Commits)
+	}
+	if v, _ := final.Get("work"); v.String() != "3" {
+		t.Fatalf("work = %v, want 3", v)
+	}
+}
+
+func TestPanicSurfacesAsError(t *testing.T) {
+	r := New(Config{Detection: DetectWriteSet})
+	_, _, err := r.Run(exampleState(), []Task{
+		addTask(1),
+		func(Executor) error { panic("client bug") },
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Task != 2 || pe.Value != "client bug" {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+}
+
+// TestContentionKnobsSurfaceInConfig drives the public Backoff and
+// SerializeAfter knobs end to end: under write-set detection, tasks that
+// all mutate one counter contend; the knobs must keep the run correct and
+// surface their accounting in RunStats.
+func TestContentionKnobsSurfaceInConfig(t *testing.T) {
+	r := New(Config{
+		Detection:      DetectWriteSet,
+		Threads:        4,
+		Backoff:        Backoff{Base: 10 * time.Microsecond},
+		SerializeAfter: 3,
+	})
+	var tasks []Task
+	var want int64
+	for i := 1; i <= 40; i++ {
+		tasks = append(tasks, addTask(int64(i)))
+		want += int64(i)
+	}
+	final, stats, err := r.Run(exampleState(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := final.Get("work"); v.String() != fmt.Sprint(want) {
+		t.Fatalf("work = %v, want %d", v, want)
+	}
+	if stats.Run.Commits != 40 {
+		t.Fatalf("commits = %d, want 40", stats.Run.Commits)
+	}
+	if stats.Run.RetryRatio() > 3 {
+		t.Fatalf("retries/txn = %.2f, want <= SerializeAfter", stats.Run.RetryRatio())
 	}
 }
