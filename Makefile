@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench bench-contention chaos soak trace clean
+.PHONY: all vet build test race check bench bench-contention bench-governor chaos soak trace clean
 
 all: check
 
@@ -39,9 +39,17 @@ bench-contention:
 	$(GO) test -run '^$$' -bench 'BenchmarkLookupParallel|BenchmarkDetectHighContention' \
 		-benchmem -cpu 1,4,8 ./internal/cache ./internal/conflict | tee bench-contention.txt
 
+# Governed chaos bench: one fault-injected run per workload with the
+# health governor attached; the JSON report records governor_state,
+# demotions, and the full health snapshot. Used by the nightly workflow;
+# informational, not gating.
+bench-governor:
+	$(GO) run ./cmd/janus-bench -json -govern -govern-window 8 -chaos 42 \
+		-workloads jfilesync,pmd > BENCH_governor.json
+
 # Capture a Chrome trace of one production run (open in ui.perfetto.dev).
 trace:
 	$(GO) run ./cmd/janus-bench -trace out.json -workloads jfilesync
 
 clean:
-	rm -f out.json bench-contention.txt
+	rm -f out.json bench-contention.txt BENCH_governor.json

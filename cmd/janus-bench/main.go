@@ -31,6 +31,12 @@
 //	janus-bench -json -serialize-after 8 -backoff 50us ...
 //	    enable contention management: bounded exponential backoff and
 //	    escalation to irrevocable serial mode after 8 consecutive aborts
+//	janus-bench -json -govern -chaos 42 -workloads jfilesync
+//	    wrap the run in the health governor (graceful degradation to
+//	    write-set detection / serial execution under miss storms or
+//	    abort churn); the chaos injector adds a miss storm and the
+//	    report records governor_state, demotions, and the full health
+//	    snapshot
 //
 // A failed run (task error, retry-guard livelock) exits nonzero and, in
 // JSON mode, carries the failure in the report's `error` field instead of
@@ -69,12 +75,15 @@ func main() {
 		chaosSd  = flag.Int64("chaos", 0, "run profiled runs under deterministic fault injection with this seed (0 = off): forced aborts, stretched commit windows, forced cache misses")
 		serAfter = flag.Int("serialize-after", 0, "escalate a task to irrevocable serial mode after this many consecutive aborts (0 = never)")
 		backoff  = flag.Duration("backoff", 0, "base of the bounded exponential retry backoff, e.g. 50us (0 = retry immediately)")
+		govern   = flag.Bool("govern", false, "wrap profiled runs in the health governor (graceful degradation); with -chaos, adds a miss storm so the demotion path is exercised")
+		govWin   = flag.Int("govern-window", 0, "governor evaluation window size in detections (0 = default)")
 	)
 	flag.Parse()
 
 	opts := bench.Opts{
 		ProdRuns: *runs, CacheShards: *shards,
 		ChaosSeed: *chaosSd, SerializeAfter: *serAfter, BackoffBase: *backoff,
+		Govern: *govern, GovernWindow: *govWin,
 	}
 	switch *size {
 	case "production":
@@ -123,8 +132,8 @@ func main() {
 		profile(out, opts, *traceOut, *jsonOut, *detName)
 		return
 	}
-	if *chaosSd != 0 || *serAfter != 0 || *backoff != 0 {
-		fatalf("-chaos/-serialize-after/-backoff apply to profiled wall-clock runs; add -json or -trace")
+	if *chaosSd != 0 || *serAfter != 0 || *backoff != 0 || *govern || *govWin != 0 {
+		fatalf("-chaos/-serialize-after/-backoff/-govern apply to profiled wall-clock runs; add -json or -trace")
 	}
 	wantFig := func(n int) bool { return *figure == 0 && *table == 0 || *figure == n }
 	wantTab := func(n int) bool { return *figure == 0 && *table == 0 || *table == n }
@@ -221,6 +230,11 @@ func profile(out *os.File, opts bench.Opts, traceOut string, jsonOut bool, detNa
 			}
 			if rep.Chaos != nil {
 				fmt.Fprintf(out, "  chaos(seed=%d): %+v\n", rep.ChaosSeed, *rep.Chaos)
+			}
+			if rep.Health != nil {
+				fmt.Fprintf(out, "  governor: state=%s demotions=%d trips=%d probes=%d restores=%d\n",
+					rep.Health.State, rep.Health.Demotions, rep.Health.Trips,
+					rep.Health.Probes, rep.Health.Restores)
 			}
 			if len(rep.Run.AbortReasons) > 0 {
 				fmt.Fprintf(out, "  abort reasons: %v\n", rep.Run.AbortReasons)

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/workloads"
@@ -50,16 +51,46 @@ func main() {
 	}
 	fmt.Printf("\ncommutativity specification (%d entries):\n%s", engine.Cache().Len(), engine.Cache().Dump())
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "janus-train: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := engine.SaveSpec(f); err != nil {
+		if err := writeSpecAtomic(engine, *out); err != nil {
 			fmt.Fprintf(os.Stderr, "janus-train: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("\nspecification written to %s\n", *out)
 	}
+}
+
+// writeSpecAtomic writes the spec artifact via a temp file in the target's
+// directory, fsyncs it, and renames it into place — a crash or full disk
+// mid-write can never leave a truncated artifact at the published path
+// (the envelope CRC would catch one, but a deployment should not have to).
+func writeSpecAtomic(engine *core.Engine, out string) (err error) {
+	dir := filepath.Dir(out)
+	f, err := os.CreateTemp(dir, filepath.Base(out)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}()
+	if err = engine.SaveSpec(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(f.Name(), out); err != nil {
+		return err
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }

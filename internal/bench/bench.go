@@ -93,6 +93,16 @@ type Opts struct {
 	// fault injection (internal/chaos) with this seed: forced aborts,
 	// stretched commit windows, and forced commutativity-cache misses.
 	ChaosSeed int64
+	// Govern wraps profiled runs' detectors in the health governor
+	// (internal/health): sliding-window miss/abort rates demote to
+	// write-set detection and can trip the run to serial execution; the
+	// report then records the governor's end-of-run snapshot. Combined
+	// with ChaosSeed, the injector adds a contiguous miss storm so the
+	// demotion path is actually exercised.
+	Govern bool
+	// GovernWindow overrides the governor's evaluation window size
+	// (0 = the internal/health default).
+	GovernWindow int
 }
 
 func (o Opts) defaults() Opts {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/chaos"
 	"repro/internal/conflict"
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/stm"
 	"repro/internal/workloads"
@@ -43,6 +44,12 @@ type RunReport struct {
 	// was not chaos-enabled.
 	ChaosSeed int64        `json:"chaos_seed,omitempty"`
 	Chaos     *chaos.Stats `json:"chaos,omitempty"`
+	// GovernorState / Demotions summarize a governed run for trajectory
+	// diffing; Health carries the governor's full end-of-run snapshot.
+	// All omitted unless Opts.Govern was set.
+	GovernorState string        `json:"governor_state,omitempty"`
+	Demotions     int64         `json:"demotions,omitempty"`
+	Health        *health.Stats `json:"health,omitempty"`
 	// Error is the run's failure, when it failed: the report then carries
 	// whatever partial accounting was gathered, and consumers must treat
 	// the run as unsuccessful (janus-bench exits nonzero).
@@ -92,12 +99,19 @@ func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, trace
 	var inj *chaos.Injector
 	var hooks *stm.Hooks
 	if o.ChaosSeed != 0 {
-		inj = chaos.New(chaos.Config{
+		cc := chaos.Config{
 			Seed:      o.ChaosSeed,
 			AbortProb: 0.25, AbortMaxPerTask: 3,
 			DelayProb: 0.2, MaxDelay: 200 * time.Microsecond,
 			MissProb: 0.25,
-		})
+		}
+		if o.Govern {
+			// Give the governor something to govern: a contiguous burst of
+			// forced misses early in the run, so the demotion → probe →
+			// restore cycle shows up in the report.
+			cc.StormStart, cc.StormLen = 1, 500
+		}
+		inj = chaos.New(cc)
 		hooks = inj.Hooks()
 		if seq, ok := d.(*conflict.Sequence); ok {
 			seq.ForceMiss = inj.ForceMiss
@@ -106,6 +120,14 @@ func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, trace
 	var tr obs.Tracer
 	if tracer != nil {
 		tr = tracer
+	}
+	var gov *health.Governor
+	var stmGov stm.Governor
+	if o.Govern {
+		gov = health.NewGovernor(d, nil, health.Config{Window: o.GovernWindow, Tracer: tr})
+		health.Publish("janus.health", gov)
+		d = gov
+		stmGov = gov
 	}
 	start := time.Now()
 	_, stats, err := stm.Run(stm.Config{
@@ -117,10 +139,19 @@ func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, trace
 		Backoff:        stm.Backoff{Base: o.BackoffBase},
 		SerializeAfter: o.SerializeAfter,
 		Hooks:          hooks,
+		Governor:       stmGov,
 	}, w.NewState(), tasks)
 	rep.ElapsedNs = int64(time.Since(start))
 	rep.Run = stats
-	switch dd := d.(type) {
+	inner := d
+	if gov != nil {
+		hs := gov.Stats()
+		rep.GovernorState = hs.State
+		rep.Demotions = hs.Demotions
+		rep.Health = &hs
+		inner = gov.Primary()
+	}
+	switch dd := inner.(type) {
 	case *conflict.WriteSet:
 		rep.Conflict = dd.Stats()
 	case *conflict.Sequence:

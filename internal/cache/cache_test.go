@@ -2,6 +2,8 @@ package cache
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -456,6 +458,137 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 	if dst.Len() != 0 {
 		t.Fatalf("failed loads must leave cache unchanged")
+	}
+}
+
+// saveSample saves a small cache and returns the artifact bytes.
+func saveSample(t *testing.T) []byte {
+	t.Helper()
+	src := New(seqabs.Abstract)
+	src.Put(idPair("1"), idPair("2"), commute.CondAlways)
+	store := []oplog.Sym{sym(adt.KindNumStore, "5")}
+	src.Put(store, store, commute.CondRegister)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSpecEnvelopeFields(t *testing.T) {
+	raw := saveSample(t)
+	var env map[string]any
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env["magic"] != "JANUS-SPEC" {
+		t.Errorf("magic = %v", env["magic"])
+	}
+	if env["format"] != float64(2) {
+		t.Errorf("format = %v", env["format"])
+	}
+	if env["mode"] != "abstract" {
+		t.Errorf("mode = %v", env["mode"])
+	}
+	if s, ok := env["shards"].(float64); !ok || s < 1 {
+		t.Errorf("shards = %v", env["shards"])
+	}
+	if _, ok := env["crc32"].(float64); !ok {
+		t.Errorf("crc32 missing: %v", env["crc32"])
+	}
+}
+
+// TestLoadRejectsBitFlip is the acceptance criterion: flipping any single
+// payload bit must be caught by the checksum (or, if the flip breaks JSON
+// syntax, by the parser) and reported as *SpecError, leaving the cache
+// unchanged.
+func TestLoadRejectsBitFlip(t *testing.T) {
+	raw := saveSample(t)
+	// Flip a bit inside the payload's entry data: find a key character
+	// past the `"payload"` field start so the envelope metadata stays
+	// intact and the corruption lands in checksummed bytes.
+	at := bytes.Index(raw, []byte(`"entries"`))
+	if at < 0 {
+		t.Fatalf("no entries in artifact:\n%s", raw)
+	}
+	for _, flip := range []int{at + 12, at + 13, at + 14} {
+		mut := append([]byte(nil), raw...)
+		mut[flip] ^= 0x10
+		dst := New(seqabs.Abstract)
+		err := dst.Load(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("bit flip at %d not detected", flip)
+		}
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Fatalf("bit flip at %d: error %v is not *SpecError", flip, err)
+		}
+		if dst.Len() != 0 {
+			t.Fatalf("rejected load changed the cache (%d entries)", dst.Len())
+		}
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	raw := saveSample(t)
+	dst := New(seqabs.Abstract)
+	err := dst.Load(bytes.NewReader(raw[:len(raw)/2]))
+	var se *SpecError
+	if !errors.As(err, &se) {
+		t.Fatalf("truncated artifact: error %v is not *SpecError", err)
+	}
+}
+
+func TestLoadSpecErrorReasons(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SpecReason
+	}{
+		{`{"magic":"OTHER-SPEC","format":2,"mode":"abstract","crc32":0,"payload":{}}`, SpecBadMagic},
+		{`{"magic":"JANUS-SPEC","format":9,"mode":"abstract","crc32":0,"payload":{}}`, SpecBadFormat},
+		{`{"magic":"JANUS-SPEC","format":2,"mode":"concrete","crc32":0,"payload":{}}`, SpecModeMismatch},
+		{`{"magic":"JANUS-SPEC","format":2,"mode":"abstract","crc32":1,"payload":{"entries":{}}}`, SpecBadChecksum},
+		{`not json`, SpecBadPayload},
+		{`{"format":1,"mode":"abstract","entries":{"k":"bogus-kind"}}`, SpecBadEntry},
+	}
+	for _, tc := range cases {
+		dst := New(seqabs.Abstract)
+		err := dst.Load(strings.NewReader(tc.in))
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Errorf("input %q: error %v is not *SpecError", tc.in, err)
+			continue
+		}
+		if se.Reason != tc.want {
+			t.Errorf("input %q: reason %v, want %v", tc.in, se.Reason, tc.want)
+		}
+	}
+}
+
+// TestLoadLegacyV1 keeps pre-envelope artifacts loadable: no integrity
+// check is possible, but well-formed v1 specs must not be orphaned.
+func TestLoadLegacyV1(t *testing.T) {
+	dst := New(seqabs.Abstract)
+	v1 := `{"format":1,"mode":"abstract","entries":{"num.add|num.add":"always"}}`
+	if err := dst.Load(strings.NewReader(v1)); err != nil {
+		t.Fatalf("legacy v1 spec rejected: %v", err)
+	}
+	if dst.Len() != 1 {
+		t.Fatalf("legacy load: %d entries, want 1", dst.Len())
+	}
+}
+
+func TestLoadFrozenIsErrFrozenNotSpecError(t *testing.T) {
+	raw := saveSample(t)
+	dst := New(seqabs.Abstract)
+	dst.Freeze()
+	err := dst.Load(bytes.NewReader(raw))
+	if !errors.Is(err, ErrFrozen) {
+		t.Fatalf("frozen load: %v, want ErrFrozen", err)
+	}
+	var se *SpecError
+	if errors.As(err, &se) {
+		t.Fatalf("ErrFrozen must not be a *SpecError (contract violation, not artifact fault)")
 	}
 }
 

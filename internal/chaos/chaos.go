@@ -20,6 +20,7 @@
 package chaos
 
 import (
+	"bytes"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +47,18 @@ type Config struct {
 	// MissProb is the probability a commutativity-cache lookup is forced
 	// to miss, driving detection onto its fallback paths.
 	MissProb float64
+	// StormStart/StormLen configure a miss storm: ForceMiss consultations
+	// numbered [StormStart, StormStart+StormLen) — counted 1-based across
+	// the whole run — all miss, modelling a contiguous burst of untrained
+	// inputs (the condition the health governor demotes on). StormLen 0
+	// disables the storm. Unlike the other fault classes the storm is
+	// temporal by construction (it targets a phase of the run, not a
+	// (task, attempt) pair), so it is driven by a shared counter rather
+	// than a pure hash; the counter is an atomic increment and introduces
+	// no synchronization the runtime's cache-lookup path does not already
+	// have.
+	StormStart int64
+	StormLen   int64
 	// PanicProb is the per-task probability WrapPanics replaces the task
 	// body with a panic.
 	PanicProb float64
@@ -58,7 +71,10 @@ type Stats struct {
 	WindowDelays int64
 	CommitDelays int64
 	ForcedMisses int64
-	Panics       int64
+	// StormMisses is the subset of ForcedMisses injected by the
+	// StormStart/StormLen window.
+	StormMisses int64
+	Panics      int64
 }
 
 // Injector makes seeded, deterministic fault decisions. All methods are
@@ -69,7 +85,10 @@ type Injector struct {
 	windows atomic.Int64
 	commits atomic.Int64
 	misses  atomic.Int64
+	storm   atomic.Int64
 	panics  atomic.Int64
+	// lookups numbers ForceMiss consultations for the miss-storm window.
+	lookups atomic.Int64
 }
 
 // New builds an injector; zero-probability fault classes stay silent.
@@ -87,6 +106,7 @@ func (i *Injector) Stats() Stats {
 		WindowDelays: i.windows.Load(),
 		CommitDelays: i.commits.Load(),
 		ForcedMisses: i.misses.Load(),
+		StormMisses:  i.storm.Load(),
 		Panics:       i.panics.Load(),
 	}
 }
@@ -99,6 +119,7 @@ const (
 	siteCommitDelay
 	siteMiss
 	sitePanic
+	siteCorrupt
 )
 
 // mix64 is the splitmix64 finalizer (full avalanche).
@@ -162,8 +183,18 @@ func (i *Injector) CommitDelay(task int) {
 
 // ForceMiss implements conflict.Sequence.ForceMiss: a seeded coin per
 // (task, attempt) that pretends the commutativity cache has no entry,
-// driving the detector onto its write-set/online fallback paths.
+// driving the detector onto its write-set/online fallback paths. A
+// configured miss storm (StormStart/StormLen) overrides the coin for a
+// contiguous burst of consultations.
 func (i *Injector) ForceMiss(task, attempt int) bool {
+	if i.cfg.StormLen > 0 {
+		n := i.lookups.Add(1)
+		if n >= i.cfg.StormStart && n < i.cfg.StormStart+i.cfg.StormLen {
+			i.misses.Add(1)
+			i.storm.Add(1)
+			return true
+		}
+	}
 	if i.cfg.MissProb <= 0 || i.roll(siteMiss, task, attempt) >= i.cfg.MissProb {
 		return false
 	}
@@ -178,6 +209,35 @@ func (i *Injector) Hooks() *stm.Hooks {
 		WindowDelay: i.WindowDelay,
 		CommitDelay: i.CommitDelay,
 	}
+}
+
+// CorruptSpec returns a copy of a serialized spec artifact with `flips`
+// deterministic single-bit flips (seeded site-hash positions). Flips land
+// only on alphanumeric bytes inside the checksummed payload region and
+// toggle a low bit, so the corruption never just breaks the outer JSON
+// framing or mutates unvalidated envelope metadata by luck — it produces
+// the hard case: a file that still *looks* like a spec but whose
+// checksummed content changed, which only the envelope CRC can catch.
+func CorruptSpec(spec []byte, seed int64, flips int) []byte {
+	out := append([]byte(nil), spec...)
+	from := 0
+	if at := bytes.Index(out, []byte(`"payload"`)); at >= 0 {
+		from = at + len(`"payload"`)
+	}
+	var sites []int
+	for idx, b := range out[from:] {
+		if b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' {
+			sites = append(sites, from+idx)
+		}
+	}
+	if len(sites) == 0 {
+		return out
+	}
+	for n := 0; n < flips; n++ {
+		at := sites[mix64(uint64(seed)^siteCorrupt<<56^uint64(n)<<20)%uint64(len(sites))]
+		out[at] ^= 1 << (mix64(uint64(seed)^siteCorrupt<<56^uint64(n)<<20^1)%4 + 1)
+	}
+	return out
 }
 
 // WrapPanics returns a task list where each task selected by the seeded

@@ -119,6 +119,27 @@ type Hooks struct {
 	CommitDelay func(task int)
 }
 
+// Governor is the runtime-health feedback hook (see internal/health): the
+// runtime consults SerialOnly before each attempt and feeds protocol
+// signals (commits, waits, escalations) back through the Observe methods,
+// closing the loop that lets a health controller demote detection or
+// force serial execution at run scope. Implementations must be safe for
+// concurrent use; a nil Governor disables governance.
+type Governor interface {
+	// SerialOnly reports whether every transaction must escalate straight
+	// to irrevocable serial execution (the governor's tripped state).
+	SerialOnly() bool
+	// ObserveCommit records one committed transaction.
+	ObserveCommit()
+	// ObserveCommitWait records time spent waiting for a commit turn
+	// (ordered mode) or for history backpressure to clear.
+	ObserveCommitWait(d time.Duration)
+	// ObserveBackoff records one contention-management backoff sleep.
+	ObserveBackoff(d time.Duration)
+	// ObserveEscalation records one serial escalation.
+	ObserveEscalation()
+}
+
 // Config parameterizes a Runtime.
 type Config struct {
 	// Threads is the worker count; 0 means GOMAXPROCS.
@@ -155,6 +176,22 @@ type Config struct {
 	SerializeAfter int
 	// Hooks are fault-injection points (tests only); nil in production.
 	Hooks *Hooks
+	// Governor, when non-nil, receives run-health signals (commits,
+	// waits, escalations) and can force serial-only execution; see the
+	// Governor interface and internal/health.
+	Governor Governor
+	// MaxHistory bounds the committed-history length: a commit that would
+	// grow the history past the bound first forces a reclamation pass and
+	// then stalls until active transactions advance past the old entries
+	// (Stats.CommitStalls counts these). The stall is context-aware — a
+	// run failure or cancellation wakes it. 0 means unbounded (the
+	// pre-existing behavior).
+	MaxHistory int
+	// MaxTxnOps bounds a single transaction's operation log: an Exec past
+	// the budget refuses the op with *OplogBudgetError instead of growing
+	// the log without bound. A task that propagates the error (the normal
+	// contract) fails the run with it. 0 means unlimited.
+	MaxTxnOps int
 }
 
 // Stats reports a run's behavior.
@@ -170,6 +207,9 @@ type Stats struct {
 	// Escalations counts transactions that ran in irrevocable serial
 	// mode after SerializeAfter consecutive aborts.
 	Escalations int64
+	// CommitStalls counts commits that hit the MaxHistory bound and
+	// waited for reclamation to make room.
+	CommitStalls int64
 	// AbortReasons breaks Conflicts down by the detector check that
 	// failed (reason name → count); nil when no conflicts occurred.
 	AbortReasons map[string]int64
@@ -411,6 +451,7 @@ func (r *Runtime) statsSnapshot() Stats {
 		MaxHist:      atomic.LoadInt64(&r.stats.MaxHist),
 		BackoffWaits: atomic.LoadInt64(&r.stats.BackoffWaits),
 		Escalations:  atomic.LoadInt64(&r.stats.Escalations),
+		CommitStalls: atomic.LoadInt64(&r.stats.CommitStalls),
 	}
 	for reason := conflict.Reason(1); reason < conflict.NumReasons; reason++ {
 		if n := atomic.LoadInt64(&r.abortReasons[reason]); n > 0 {
@@ -446,6 +487,7 @@ func (r *Runtime) finalState() *state.State {
 // against an adversarial detector.
 func (r *Runtime) runTask(task adt.Task, tid, worker int) {
 	ctx := obs.Ctx{T: r.tracer, Worker: int32(worker), Task: int32(tid)}
+	gov := r.cfg.Governor
 	start := ctx.Now()
 	retries := 0
 	for {
@@ -455,7 +497,11 @@ func (r *Runtime) runTask(task adt.Task, tid, worker int) {
 		ctx.Attempt = int32(retries + 1)
 		var committed bool
 		var err error
-		if r.cfg.SerializeAfter > 0 && retries >= r.cfg.SerializeAfter {
+		serial := r.cfg.SerializeAfter > 0 && retries >= r.cfg.SerializeAfter
+		if gov != nil && gov.SerialOnly() {
+			serial = true // governor tripped: run-wide serial escalation
+		}
+		if serial {
 			committed, err = r.attemptSerial(ctx, task, tid)
 		} else {
 			committed, err = r.attempt(ctx, task, tid)
@@ -466,6 +512,9 @@ func (r *Runtime) runTask(task adt.Task, tid, worker int) {
 		}
 		if committed {
 			atomic.AddInt64(&r.stats.Commits, 1)
+			if gov != nil {
+				gov.ObserveCommit()
+			}
 			ctx.End(obs.EvTask, start)
 			return
 		}
@@ -480,6 +529,9 @@ func (r *Runtime) runTask(task adt.Task, tid, worker int) {
 		}
 		if wait := r.cfg.Backoff.wait(tid, retries); wait > 0 {
 			atomic.AddInt64(&r.stats.BackoffWaits, 1)
+			if gov != nil {
+				gov.ObserveBackoff(wait)
+			}
 			waitStart := ctx.Now()
 			if !r.sleep(wait) {
 				return // run failed or canceled mid-backoff
@@ -502,18 +554,38 @@ func (r *Runtime) sleep(d time.Duration) bool {
 	}
 }
 
+// OplogBudgetError is what Tx.Exec returns once a transaction's
+// operation log reaches Config.MaxTxnOps: the op is refused so a single
+// runaway task cannot grow its private log without bound. A task that
+// propagates it (the adt.Task contract) fails the run with this error,
+// recoverable via errors.As.
+type OplogBudgetError struct {
+	Task   int // transaction id
+	Ops    int // ops already logged
+	Budget int // Config.MaxTxnOps
+}
+
+// Error implements error.
+func (e *OplogBudgetError) Error() string {
+	return fmt.Sprintf("task %d oplog budget exceeded: %d ops logged, budget %d", e.Task, e.Ops, e.Budget)
+}
+
 // Tx is a running transaction; it implements adt.Executor by applying ops
 // to the privatized state and logging them.
 type Tx struct {
-	tid   int
-	begin int64
-	priv  *state.State // SharedPrivatized
-	snap  *state.State // SharedSnapshot
-	log   oplog.Log
+	tid    int
+	begin  int64
+	priv   *state.State // SharedPrivatized
+	snap   *state.State // SharedSnapshot
+	log    oplog.Log
+	maxOps int // Config.MaxTxnOps; 0 = unlimited
 }
 
 // Exec implements adt.Executor.
 func (t *Tx) Exec(op oplog.Op) (state.Value, error) {
+	if t.maxOps > 0 && len(t.log) >= t.maxOps {
+		return nil, &OplogBudgetError{Task: t.tid, Ops: len(t.log), Budget: t.maxOps}
+	}
 	acc := op.Accesses(t.priv)
 	v, err := op.Apply(t.priv)
 	if err != nil {
@@ -541,20 +613,6 @@ func (r *Runtime) attempt(ctx obs.Ctx, task adt.Task, tid int) (committed bool, 
 	}
 	ctx.End(obs.EvTxRun, runStart)
 
-	if r.cfg.Ordered {
-		// Wait until all preceding tasks committed: clock == tid.
-		waitStart := ctx.Now()
-		r.histMu.Lock()
-		for r.clock.Load() != int64(tid) && !r.failed() {
-			r.commitCond.Wait()
-		}
-		r.histMu.Unlock()
-		ctx.End(obs.EvCommitWait, waitStart)
-		if r.failed() {
-			return false, nil
-		}
-	}
-
 	// The conflict history grows monotonically while the transaction
 	// retries the detect/commit loop (reclamation never touches entries
 	// newer than an active transaction's begin), so each iteration fetches
@@ -562,6 +620,35 @@ func (r *Runtime) attempt(ctx obs.Ctx, task adt.Task, tid int) (committed bool, 
 	// snapshot instead of recopying the whole (begin, now] window.
 	var opsC []oplog.Log
 	seen := tx.begin
+
+	if r.cfg.Ordered {
+		// Wait until all preceding tasks committed: clock == tid. Under
+		// MaxHistory the waiter drains the history incrementally on every
+		// wakeup, advancing its begin watermark — otherwise its stale
+		// begin would pin the whole window and deadlock a predecessor
+		// stalled on the history bound.
+		waitStart := ctx.Now()
+		var govStart time.Time
+		if r.cfg.Governor != nil {
+			govStart = time.Now()
+		}
+		r.histMu.Lock()
+		for r.clock.Load() != int64(tid) && !r.failed() {
+			if r.cfg.MaxHistory > 0 {
+				seen = r.drainLocked(tid, seen, &opsC)
+			}
+			r.commitCond.Wait()
+		}
+		r.histMu.Unlock()
+		if gov := r.cfg.Governor; gov != nil {
+			gov.ObserveCommitWait(time.Since(govStart))
+		}
+		ctx.End(obs.EvCommitWait, waitStart)
+		if r.failed() {
+			return false, nil
+		}
+	}
+
 	for {
 		if r.failed() {
 			return false, nil
@@ -572,6 +659,12 @@ func (r *Runtime) attempt(ctx obs.Ctx, task adt.Task, tid int) (committed bool, 
 			opsC = append(opsC, r.committedHistory(seen, now)...)
 			r.lock.RUnlock()
 			seen = now
+			if r.cfg.MaxHistory > 0 {
+				// Everything up to seen is copied into opsC; advance the
+				// begin watermark so reclamation (and the MaxHistory
+				// backpressure that depends on it) can move past it.
+				r.advanceBegin(tid, seen)
+			}
 		}
 		if h := r.cfg.Hooks; h != nil && h.ForceAbort != nil && h.ForceAbort(tid, int(ctx.Attempt)) {
 			atomic.AddInt64(&r.abortReasons[conflict.ReasonInjected], 1)
@@ -597,13 +690,28 @@ func (r *Runtime) attempt(ctx obs.Ctx, task adt.Task, tid int) (committed bool, 
 			h.WindowDelay(tid)
 		}
 		commitStart := ctx.Now()
-		if r.commit(tx, now) {
+		switch r.commit(tx, now) {
+		case commitOK:
 			ctx.End(obs.EvTxCommit, commitStart)
 			return true, nil
+		case commitStall:
+			// The history bound, not a conflict: wait for reclamation to
+			// make room, then re-detect (the history may have evolved
+			// while stalled).
+			var govStart time.Time
+			if r.cfg.Governor != nil {
+				govStart = time.Now()
+			}
+			r.stallForHistory()
+			if gov := r.cfg.Governor; gov != nil {
+				gov.ObserveCommitWait(time.Since(govStart))
+			}
+			ctx.End(obs.EvCommitWait, commitStart)
+		default: // commitRace
+			// History evolved between detection and commit: re-detect.
+			// The lost race is commit-queue contention, not a conflict.
+			ctx.End(obs.EvCommitWait, commitStart)
 		}
-		// History evolved between detection and commit: re-detect. The
-		// lost race is commit-queue contention, not a conflict.
-		ctx.End(obs.EvCommitWait, commitStart)
 	}
 }
 
@@ -612,7 +720,7 @@ func (r *Runtime) createTransaction(tid int) *Tx {
 	r.lock.RLock()
 	defer r.lock.RUnlock()
 	begin := r.clock.Load()
-	tx := &Tx{tid: tid, begin: begin}
+	tx := &Tx{tid: tid, begin: begin, maxOps: r.cfg.MaxTxnOps}
 	if r.cfg.Privatize == PrivatizePersistent {
 		ver := r.version.Load()
 		fault := func(l state.Loc) (state.Value, bool) {
@@ -633,7 +741,46 @@ func (r *Runtime) createTransaction(tid int) *Tx {
 func (r *Runtime) dropBegin(tid int) {
 	r.histMu.Lock()
 	delete(r.begins, tid)
+	if r.cfg.MaxHistory > 0 {
+		// A departing transaction can raise the reclamation floor; wake
+		// any commit stalled on the history bound.
+		r.commitCond.Broadcast()
+	}
 	r.histMu.Unlock()
+}
+
+// advanceBegin raises a transaction's begin watermark to seen: every
+// history entry at or before it has been copied into the transaction's
+// private window, so reclamation no longer needs to retain those entries
+// on its behalf. Stalled commits are woken to re-try reclamation.
+func (r *Runtime) advanceBegin(tid int, seen int64) {
+	r.histMu.Lock()
+	if b, ok := r.begins[tid]; ok && seen > b {
+		r.begins[tid] = seen
+		r.commitCond.Broadcast()
+	}
+	r.histMu.Unlock()
+}
+
+// drainLocked copies every history entry newer than seen into opsC and
+// advances the transaction's begin watermark to the current clock —
+// the ordered-wait variant of the fetch in the detect loop, run under
+// the already-held histMu while the waiter sleeps for its commit turn.
+// Returns the new watermark.
+func (r *Runtime) drainLocked(tid int, seen int64, opsC *[]oplog.Log) int64 {
+	now := r.clock.Load()
+	if now <= seen {
+		return seen
+	}
+	lo := sort.Search(len(r.history), func(i int) bool { return r.history[i].commitTime > seen })
+	for _, h := range r.history[lo:] {
+		*opsC = append(*opsC, h.log)
+	}
+	if b, ok := r.begins[tid]; ok && now > b {
+		r.begins[tid] = now
+		r.commitCond.Broadcast()
+	}
+	return now
 }
 
 // committedHistory returns the logs of transactions that committed in
@@ -657,24 +804,71 @@ func (r *Runtime) committedHistory(begin, now int64) []oplog.Log {
 	return out
 }
 
+// commitResult is commit's outcome: committed, lost the clock race (the
+// history evolved since detection), or stalled on the MaxHistory bound.
+type commitResult int
+
+const (
+	commitOK commitResult = iota
+	commitRace
+	commitStall
+)
+
 // commit is COMMIT of Figure 7: under the write lock, validate that the
 // history has not evolved since detection, advance the clock, and replay
-// the log onto the shared state.
-func (r *Runtime) commit(tx *Tx, tcheck int64) bool {
+// the log onto the shared state. Under Config.MaxHistory a commit that
+// would overflow the bound returns commitStall — before mutating any
+// shared state — and the caller waits for reclamation to make room.
+func (r *Runtime) commit(tx *Tx, tcheck int64) commitResult {
 	r.lock.Lock()
 	defer r.lock.Unlock()
 	if r.clock.Load() != tcheck {
-		return false
+		return commitRace
 	}
 	if h := r.cfg.Hooks; h != nil && h.CommitDelay != nil {
 		h.CommitDelay(tx.tid)
 	}
+	if r.cfg.MaxHistory > 0 && !r.historyRoomLocked() {
+		return commitStall
+	}
 	if err := r.replayLocked(tx.log); err != nil {
 		r.fail(err)
-		return false
+		return commitRace
 	}
 	r.publishLocked(tx.tid, tx.log)
-	return true
+	return commitOK
+}
+
+// historyRoomLocked reports whether the committed history can accept one
+// more entry under Config.MaxHistory, forcing a reclamation pass first if
+// it cannot. Caller holds the write lock, so the history cannot grow
+// between this check and the subsequent publish.
+func (r *Runtime) historyRoomLocked() bool {
+	r.histMu.Lock()
+	defer r.histMu.Unlock()
+	if len(r.history) >= r.cfg.MaxHistory {
+		r.reclaimLocked()
+	}
+	return len(r.history) < r.cfg.MaxHistory
+}
+
+// stallForHistory blocks until the history has room for one more entry,
+// forcing a reclamation pass on every wakeup, or until the run fails.
+// Progress is guaranteed: every other active transaction eventually
+// commits (broadcast), aborts (dropBegin broadcasts), or advances its
+// begin watermark as it fetches or drains history (broadcast) — any of
+// which raises the reclamation floor.
+func (r *Runtime) stallForHistory() {
+	atomic.AddInt64(&r.stats.CommitStalls, 1)
+	r.histMu.Lock()
+	for !r.failed() {
+		r.reclaimLocked()
+		if len(r.history) < r.cfg.MaxHistory {
+			break
+		}
+		r.commitCond.Wait()
+	}
+	r.histMu.Unlock()
 }
 
 // replayLocked applies a validated log to the shared state under the
@@ -714,20 +908,47 @@ func (r *Runtime) publishLocked(tid int, log oplog.Log) {
 // still commit, preserving the task-order serialization.
 func (r *Runtime) attemptSerial(ctx obs.Ctx, task adt.Task, tid int) (committed bool, err error) {
 	atomic.AddInt64(&r.stats.Escalations, 1)
+	if gov := r.cfg.Governor; gov != nil {
+		gov.ObserveEscalation()
+	}
 	serialStart := ctx.Now()
 	if r.cfg.Ordered {
 		waitStart := ctx.Now()
+		var govStart time.Time
+		if r.cfg.Governor != nil {
+			govStart = time.Now()
+		}
 		r.histMu.Lock()
 		for r.clock.Load() != int64(tid) && !r.failed() {
 			r.commitCond.Wait()
 		}
 		r.histMu.Unlock()
+		if gov := r.cfg.Governor; gov != nil {
+			gov.ObserveCommitWait(time.Since(govStart))
+		}
 		ctx.End(obs.EvCommitWait, waitStart)
 	}
 	if r.failed() {
 		return false, nil
 	}
+	// Serial mode must respect the history bound too, but cannot stall
+	// while holding the write lock — fetchers advancing their begin
+	// watermarks need the read side. Make room first, then re-check under
+	// the lock, looping over the race where concurrent commits refill the
+	// history in between.
 	r.lock.Lock()
+	for r.cfg.MaxHistory > 0 && !r.failed() && !r.historyRoomLocked() {
+		r.lock.Unlock()
+		var govStart time.Time
+		if r.cfg.Governor != nil {
+			govStart = time.Now()
+		}
+		r.stallForHistory()
+		if gov := r.cfg.Governor; gov != nil {
+			gov.ObserveCommitWait(time.Since(govStart))
+		}
+		r.lock.Lock()
+	}
 	defer r.lock.Unlock()
 	if r.failed() {
 		return false, nil
@@ -735,7 +956,7 @@ func (r *Runtime) attemptSerial(ctx obs.Ctx, task adt.Task, tid int) (committed 
 	// Build the transaction against the live state; the write lock
 	// freezes the clock, the shared state, and the persistent version for
 	// the duration, so the privatized view cannot go stale.
-	tx := &Tx{tid: tid, begin: r.clock.Load()}
+	tx := &Tx{tid: tid, begin: r.clock.Load(), maxOps: r.cfg.MaxTxnOps}
 	if r.cfg.Privatize == PrivatizePersistent {
 		ver := r.version.Load()
 		fault := func(l state.Loc) (state.Value, bool) {

@@ -38,12 +38,14 @@ package janus
 
 import (
 	"context"
+	"errors"
 	"io"
 
 	"repro/internal/adt"
 	"repro/internal/cache"
 	"repro/internal/conflict"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/relspec"
@@ -103,6 +105,22 @@ type (
 	// panic site. A panicking task fails the run with this error instead
 	// of crashing the process; unwrap it with errors.As.
 	PanicError = stm.PanicError
+	// OplogBudgetError is what a transaction's Exec returns — and the run
+	// fails with — once one task's operation log exceeds Config.MaxTxnOps;
+	// unwrap it with errors.As.
+	OplogBudgetError = stm.OplogBudgetError
+	// SpecError reports a rejected trained-spec artifact (corruption,
+	// version or abstraction-mode mismatch, unknown entries); LoadSpec
+	// returns one, errors.As-matchable, for every artifact fault.
+	SpecError = cache.SpecError
+
+	// GovernorConfig tunes the Config.Govern health governor: window
+	// size, demotion/trip/restore thresholds, probe cadence, and the
+	// serial-commit recovery budget. The zero value uses sane defaults.
+	GovernorConfig = health.Config
+	// HealthStats is the governor's snapshot (state, transition counts,
+	// last window rates); see RunStats.Health.
+	HealthStats = health.Stats
 
 	// CustomSpec declares a user-defined ADT's relational representation
 	// (§6.1): arbitrary columns with an optional functional dependency
@@ -269,6 +287,24 @@ type Config struct {
 	// SkipTrainingVerify disables training-time verification (concrete
 	// Figure 8 validation and SAT equivalence checks).
 	SkipTrainingVerify bool
+	// Govern enables the runtime health governor: the run's detector is
+	// wrapped in a hysteresis state machine that demotes to write-set
+	// detection when sliding-window cache-miss or abort rates cross the
+	// GovernorConfig thresholds (probing its way back once conditions
+	// clear) and escalates the whole run to serial execution when even
+	// write-set detection thrashes. See RunStats.Health.
+	Govern bool
+	// Governor tunes the Govern state machine; the zero value uses the
+	// internal/health defaults.
+	Governor GovernorConfig
+	// MaxHistory bounds the runtime's committed-history length: a commit
+	// that would overflow the bound forces a reclamation pass and then
+	// stalls until active transactions advance past the old entries.
+	// Stats.MaxHist never exceeds it. 0 means unbounded.
+	MaxHistory int
+	// MaxTxnOps bounds a single transaction's operation log; an op past
+	// the budget is refused with *OplogBudgetError. 0 means unlimited.
+	MaxTxnOps int
 	// Trace, when non-nil, records every run's protocol events (task
 	// spans, validations, commits, aborts with reasons, cache queries)
 	// into per-worker ring buffers; see RunStats.Timeline and
@@ -289,6 +325,10 @@ type Runner struct {
 	engine  *core.Engine
 	obsAddr string
 	obsErr  error
+	// specRejected records a lenient LoadSpecPolicy rejection: the runner
+	// permanently degrades to write-set detection (the cache cannot be
+	// trusted to have been trained as intended).
+	specRejected bool
 }
 
 // New builds a Runner. When cfg.Observe is set, the debug endpoint is
@@ -346,9 +386,61 @@ func (r *Runner) ResetCacheStats() { r.engine.Cache().ResetStats() }
 // inputs, ship the spec, load it in production with LoadSpec.
 func (r *Runner) SaveSpec(w io.Writer) error { return r.engine.SaveSpec(w) }
 
-// LoadSpec merges a saved commutativity specification into the runner.
-// The spec must have been built under the same abstraction setting.
+// ErrSpecFrozen is returned by LoadSpec after Freeze: spec loading is part
+// of the training phase and must complete before the cache goes read-only.
+var ErrSpecFrozen = cache.ErrFrozen
+
+// SpecPolicy selects how LoadSpecPolicy treats a faulty artifact.
+type SpecPolicy int
+
+// Spec-loading policies.
+const (
+	// SpecStrict fails the load with the *SpecError (the LoadSpec
+	// behavior): a bad artifact is a deployment error.
+	SpecStrict SpecPolicy = iota
+	// SpecLenient rejects the artifact but not the run: the runner
+	// records the rejection, emits a spec.rejected trace event, and all
+	// subsequent runs degrade to write-set detection.
+	SpecLenient
+)
+
+// LoadSpec merges a saved commutativity specification into the runner —
+// the production side of the Figure 6 deployment flow. The artifact's
+// envelope is verified (magic, format version, CRC32 checksum) and its
+// abstraction mode must match the runner's; any artifact fault is
+// reported as a *SpecError and leaves the cache unchanged.
+//
+// LoadSpec is only legal before Freeze: the spec is training input, and a
+// frozen cache is read-only. Calling it after Freeze returns
+// ErrSpecFrozen (a contract violation, deliberately not a *SpecError).
 func (r *Runner) LoadSpec(rd io.Reader) error { return r.engine.LoadSpec(rd) }
+
+// LoadSpecPolicy is LoadSpec with a fault policy. Under SpecLenient an
+// artifact fault (*SpecError) does not fail the call: the rejection is
+// recorded (SpecRejected), a spec.rejected event is emitted on
+// Config.Trace, and the runner degrades to write-set detection for all
+// subsequent runs — the run proceeds correct-but-slower instead of dying
+// on a corrupt deployment artifact. Non-artifact errors (I/O failures,
+// ErrSpecFrozen) fail the call under either policy.
+func (r *Runner) LoadSpecPolicy(rd io.Reader, policy SpecPolicy) error {
+	err := r.engine.LoadSpec(rd)
+	if err == nil || policy != SpecLenient {
+		return err
+	}
+	var se *SpecError
+	if !errors.As(err, &se) {
+		return err
+	}
+	r.specRejected = true
+	if t := r.cfg.Trace; t != nil {
+		t.Emit(obs.Event{Type: obs.EvSpecRejected, When: t.Now(), Worker: -1, Detail: err.Error()})
+	}
+	return nil
+}
+
+// SpecRejected reports whether a lenient LoadSpecPolicy rejected an
+// artifact, permanently degrading the runner to write-set detection.
+func (r *Runner) SpecRejected() bool { return r.specRejected }
 
 // RunStats aggregates one run's statistics.
 type RunStats struct {
@@ -360,11 +452,15 @@ type RunStats struct {
 	// Timeline is the run's captured event timeline, merged across
 	// worker lanes in time order; nil unless Config.Trace was set.
 	Timeline []TraceEvent
+	// Health is the governor's end-of-run snapshot (state, demotions,
+	// probes, restores, window rates); nil unless Config.Govern was set.
+	Health *HealthStats
 }
 
-// detector builds the configured detector instance for one run.
+// detector builds the configured detector instance for one run. A runner
+// whose spec artifact was rejected leniently always detects by write set.
 func (r *Runner) detector() conflict.Detector {
-	if r.cfg.Detection == DetectWriteSet {
+	if r.cfg.Detection == DetectWriteSet || r.specRejected {
 		return conflict.NewWriteSet()
 	}
 	return r.engine.Detector()
@@ -376,6 +472,18 @@ func (r *Runner) run(ctx context.Context, initial *State, tasks []Task, ordered 
 	if r.cfg.Trace != nil {
 		tracer = r.cfg.Trace
 	}
+	var gov *health.Governor
+	var stmGov stm.Governor
+	if r.cfg.Govern {
+		gc := r.cfg.Governor
+		if gc.Tracer == nil {
+			gc.Tracer = tracer
+		}
+		gov = health.NewGovernor(det, nil, gc)
+		health.Publish("janus.health", gov)
+		det = gov
+		stmGov = gov
+	}
 	final, stats, err := stm.RunCtx(ctx, stm.Config{
 		Threads:        r.cfg.Threads,
 		Ordered:        ordered,
@@ -386,13 +494,41 @@ func (r *Runner) run(ctx context.Context, initial *State, tasks []Task, ordered 
 		Tracer:         tracer,
 		Backoff:        r.cfg.Backoff,
 		SerializeAfter: r.cfg.SerializeAfter,
+		Governor:       stmGov,
+		MaxHistory:     r.cfg.MaxHistory,
+		MaxTxnOps:      r.cfg.MaxTxnOps,
 	}, initial, tasks)
 	rs := RunStats{Run: stats}
-	switch d := det.(type) {
+	inner := det
+	if gov != nil {
+		s := gov.Stats()
+		rs.Health = &s
+		inner = gov.Primary()
+	}
+	switch d := inner.(type) {
 	case *conflict.WriteSet:
 		rs.Detector = d.Stats()
 	case *conflict.Sequence:
 		rs.Detector = d.Stats()
+	}
+	if gov != nil {
+		// Fold in the detections the governor's write-set fallback
+		// answered while degraded, so RunStats.Detector still accounts for
+		// every detection of the run.
+		if ws, ok := gov.Fallback().(*conflict.WriteSet); ok {
+			fs := ws.Stats()
+			rs.Detector.Detections += fs.Detections
+			rs.Detector.Conflicts += fs.Conflicts
+			rs.Detector.PairQueries += fs.PairQueries
+			rs.Detector.Fallbacks += fs.Fallbacks
+			rs.Detector.RelaxedChecks += fs.RelaxedChecks
+			for k, v := range fs.Reasons {
+				if rs.Detector.Reasons == nil {
+					rs.Detector.Reasons = make(map[string]int64)
+				}
+				rs.Detector.Reasons[k] += v
+			}
+		}
 	}
 	if r.cfg.Trace != nil {
 		rs.Timeline = r.cfg.Trace.Events()
