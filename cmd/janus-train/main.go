@@ -75,6 +75,11 @@ func writeSpecAtomic(engine *core.Engine, out string) (err error) {
 			os.Remove(f.Name())
 		}
 	}()
+	// CreateTemp makes the file 0600; the published artifact must stay
+	// world-readable like a plainly-created file would be.
+	if err = f.Chmod(0o644); err != nil {
+		return err
+	}
 	if err = engine.SaveSpec(f); err != nil {
 		return err
 	}

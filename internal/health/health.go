@@ -136,6 +136,12 @@ func (c Config) withDefaults() Config {
 	if c.RestoreMissRate <= 0 {
 		c.RestoreMissRate = 0.25
 	}
+	if c.RestoreMissRate >= c.DemoteMissRate {
+		// Enforce the documented hysteresis invariant: a probe must be
+		// judged by a stricter ceiling than the rate that demoted, or the
+		// governor oscillates between healthy and degraded.
+		c.RestoreMissRate = c.DemoteMissRate / 2
+	}
 	if c.RestoreProbes <= 0 {
 		c.RestoreProbes = 2
 	}

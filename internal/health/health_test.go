@@ -122,6 +122,24 @@ func TestConfigDefaults(t *testing.T) {
 	}
 }
 
+// TestConfigHysteresisClamp: a config whose restore ceiling is at or above
+// the demote threshold would oscillate; withDefaults must re-establish the
+// documented RestoreMissRate < DemoteMissRate invariant.
+func TestConfigHysteresisClamp(t *testing.T) {
+	cases := []Config{
+		{DemoteMissRate: 0.4, RestoreMissRate: 0.4}, // equal
+		{DemoteMissRate: 0.3, RestoreMissRate: 0.9}, // inverted
+		{DemoteMissRate: 0.2},                       // default restore (0.25) above demote
+	}
+	for _, in := range cases {
+		c := in.withDefaults()
+		if c.RestoreMissRate >= c.DemoteMissRate {
+			t.Errorf("withDefaults(%+v): RestoreMissRate %v >= DemoteMissRate %v",
+				in, c.RestoreMissRate, c.DemoteMissRate)
+		}
+	}
+}
+
 func TestNewGovernorNilFallback(t *testing.T) {
 	g := NewGovernor(conflict.NewSequence(trainedCache(), nil), nil, Config{})
 	if g.Fallback() == nil {

@@ -763,12 +763,25 @@ func (r *Runtime) advanceBegin(tid int, seen int64) {
 }
 
 // drainLocked copies every history entry newer than seen into opsC and
-// advances the transaction's begin watermark to the current clock —
-// the ordered-wait variant of the fetch in the detect loop, run under
-// the already-held histMu while the waiter sleeps for its commit turn.
-// Returns the new watermark.
+// advances the transaction's begin watermark — the ordered-wait variant
+// of the fetch in the detect loop, run under the already-held histMu
+// while the waiter sleeps for its commit turn. Returns the new watermark.
+//
+// publishLocked advances the clock before it acquires histMu to append
+// the entry, so the raw clock can run ahead of the newest visible history
+// entry. The watermark is therefore capped at that entry's commit time:
+// advancing to the raw clock would skip the in-flight entry forever
+// (later fetches read (seen, now] only) and let it be reclaimed unseen.
+// Every entry in (seen, cap] is present, because this waiter's begin
+// watermark pins entries newer than seen against reclamation.
 func (r *Runtime) drainLocked(tid int, seen int64, opsC *[]oplog.Log) int64 {
+	if len(r.history) == 0 {
+		return seen
+	}
 	now := r.clock.Load()
+	if last := r.history[len(r.history)-1].commitTime; last < now {
+		now = last
+	}
 	if now <= seen {
 		return seen
 	}

@@ -314,6 +314,63 @@ func TestReclaimReleasesLogReferences(t *testing.T) {
 	t.Fatalf("reclaimed log entry was never garbage-collected")
 }
 
+// TestDrainLockedCapsAtAppendedHistory reproduces the publish/drain race:
+// publishLocked advances the clock before acquiring histMu to append the
+// committed entry, so an ordered waiter draining in that window observes
+// the advanced clock while the newest entry is still missing from the
+// history. The drain watermark must cap at the newest appended entry —
+// advancing to the raw clock would move the begin watermark past the
+// in-flight entry without copying its log, and the entry would never be
+// fetched again (fetches read (seen, now] only).
+func TestDrainLockedCapsAtAppendedHistory(t *testing.T) {
+	r := New(Config{Ordered: true, MaxHistory: 8}, initialState())
+	r.history = append(r.history, histEntry{
+		commitTime: 2, task: 1, log: oplog.Log{&oplog.Event{Task: 1}},
+	})
+	// A second commit is mid-publish: clock advanced to 3, its entry not
+	// yet appended.
+	r.clock.Store(3)
+	r.begins[7] = 1
+
+	var ops []oplog.Log
+	r.histMu.Lock()
+	seen := r.drainLocked(7, 1, &ops)
+	again := r.drainLocked(7, seen, &ops)
+	r.histMu.Unlock()
+
+	if seen != 2 {
+		t.Fatalf("watermark = %d, want 2 (newest appended entry, not clock 3)", seen)
+	}
+	if again != 2 {
+		t.Fatalf("re-drain watermark = %d, want 2", again)
+	}
+	if len(ops) != 1 || ops[0][0].Task != 1 {
+		t.Fatalf("drained ops = %+v, want exactly the committed log", ops)
+	}
+	if r.begins[7] != 2 {
+		t.Fatalf("begins[7] = %d, want 2", r.begins[7])
+	}
+}
+
+// TestDrainLockedEmptyHistory: with the clock ahead of an entirely empty
+// (or fully in-flight) history, a drain must be a no-op rather than
+// advancing the waiter past entries it has not copied.
+func TestDrainLockedEmptyHistory(t *testing.T) {
+	r := New(Config{Ordered: true, MaxHistory: 8}, initialState())
+	r.clock.Store(5)
+	r.begins[3] = 1
+
+	var ops []oplog.Log
+	r.histMu.Lock()
+	seen := r.drainLocked(3, 1, &ops)
+	r.histMu.Unlock()
+
+	if seen != 1 || len(ops) != 0 || r.begins[3] != 1 {
+		t.Fatalf("drain on empty history moved state: seen=%d ops=%d begins[3]=%d",
+			seen, len(ops), r.begins[3])
+	}
+}
+
 func TestPrivatizeString(t *testing.T) {
 	if PrivatizeCopy.String() != "copy" || PrivatizePersistent.String() != "persistent" {
 		t.Errorf("privatize strings wrong")
