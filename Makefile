@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench bench-contention bench-governor chaos soak trace clean
+.PHONY: all vet build test race check bench bench-contention bench-detect bench-governor chaos soak trace clean
 
 all: check
 
@@ -24,8 +24,10 @@ chaos:
 
 # Long soak: many more seeds per configuration. Not part of `check`; run
 # before releases or when touching the STM commit path.
+# (The test-binary flag must follow the package list, or go test treats
+# the remaining arguments as packages of the current directory.)
 soak:
-	$(GO) test -race -count=1 -run Chaos -chaos.seeds=200 -timeout 30m ./internal/chaos
+	$(GO) test -race -count=1 -run Chaos -timeout 30m ./internal/chaos -chaos.seeds=200
 
 check: vet build test race chaos
 
@@ -38,6 +40,16 @@ bench:
 bench-contention:
 	$(GO) test -run '^$$' -bench 'BenchmarkLookupParallel|BenchmarkDetectHighContention' \
 		-benchmem -cpu 1,4,8 ./internal/cache ./internal/conflict | tee bench-contention.txt
+
+# Detection-path benchmark trajectory: runs the prepared-projection
+# benchmarks (sequential, parallel, high-contention, plus the DetectV
+# legacy shims) and folds the numbers into BENCH_detect.json under the
+# "after" label. The "before" entry preserves the pre-projection baseline
+# and is never overwritten by this target. Informational, not gating.
+bench-detect:
+	$(GO) test -run '^$$' -bench 'BenchmarkDetect' -benchmem -cpu 1,4 \
+		./internal/conflict | tee bench-detect.txt
+	$(GO) run ./cmd/janus-benchjson -file BENCH_detect.json -label after < bench-detect.txt
 
 # Governed chaos bench: one fault-injected run per workload with the
 # health governor attached; the JSON report records governor_state,

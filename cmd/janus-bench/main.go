@@ -228,6 +228,10 @@ func profile(out *os.File, opts bench.Opts, traceOut string, jsonOut bool, detNa
 				fmt.Fprintf(out, "  contention: escalations=%d backoff-waits=%d\n",
 					rep.Run.Escalations, rep.Run.BackoffWaits)
 			}
+			if rep.Run.ValidationsSkipped > 0 {
+				fmt.Fprintf(out, "  incremental validation: skipped=%d already-validated entries\n",
+					rep.Run.ValidationsSkipped)
+			}
 			if rep.Chaos != nil {
 				fmt.Fprintf(out, "  chaos(seed=%d): %+v\n", rep.ChaosSeed, *rep.Chaos)
 			}

@@ -1,0 +1,173 @@
+// janus-benchjson folds `go test -bench` output into a JSON benchmark
+// trajectory file, so performance changes are recorded next to the code
+// that caused them instead of in CI logs that expire.
+//
+// The trajectory file holds one entry per label; re-recording a label
+// replaces its entry and leaves the others untouched, so a "before"
+// baseline recorded once survives any number of "after" refreshes:
+//
+//	go test -bench Detect -benchmem ./internal/conflict |
+//	    janus-benchjson -file BENCH_detect.json -label after
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Entry is one labeled benchmark run.
+type Entry struct {
+	Label   string   `json:"label"`
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	file := flag.String("file", "BENCH_detect.json", "trajectory file to update")
+	label := flag.String("label", "", "label to record this run under (required)")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "janus-benchjson: -label is required")
+		os.Exit(2)
+	}
+	entry, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "janus-benchjson:", err)
+		os.Exit(1)
+	}
+	entry.Label = *label
+	entries, err := load(*file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "janus-benchjson:", err)
+		os.Exit(1)
+	}
+	replaced := false
+	for i := range entries {
+		if entries[i].Label == *label {
+			entries[i] = *entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		entries = append(entries, *entry)
+	}
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "janus-benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*file, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "janus-benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "janus-benchjson: recorded %d results under %q in %s\n",
+		len(entry.Results), *label, *file)
+}
+
+func load(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// parse reads `go test -bench` text output: header lines (goos, goarch,
+// cpu, pkg) followed by benchmark result lines.
+func parse(sc *bufio.Scanner) (*Entry, error) {
+	e := &Entry{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			e.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			e.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			e.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			e.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			r, err := parseResult(line)
+			if err != nil {
+				return nil, err
+			}
+			e.Results = append(e.Results, *r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(e.Results) == 0 {
+		return nil, errors.New("no benchmark result lines on stdin")
+	}
+	return e, nil
+}
+
+// parseResult parses one line of the form
+//
+//	BenchmarkName-8   12345   678.9 ns/op   100 B/op   3 allocs/op
+//
+// where the -procs suffix and the B/op and allocs/op columns are optional.
+func parseResult(line string) (*Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return nil, fmt.Errorf("short benchmark line: %q", line)
+	}
+	r := &Result{Name: fields[0], Procs: 1}
+	if i := strings.LastIndexByte(r.Name, '-'); i >= 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Procs = p
+			r.Name = r.Name[:i]
+		}
+	}
+	var err error
+	if r.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if r.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+			}
+		case "B/op":
+			if r.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return nil, fmt.Errorf("bad B/op in %q: %w", line, err)
+			}
+		case "allocs/op":
+			if r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+			}
+		}
+	}
+	return r, nil
+}

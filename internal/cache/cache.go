@@ -198,6 +198,36 @@ func (c *Cache) LookupDetail(s1, s2 []oplog.Sym) (conflict bool, failed commute.
 	// known key allocates nothing.
 	bp := keyBufPool.Get().(*[]byte)
 	buf := c.abs.AppendPairKey((*bp)[:0], s1, s2)
+	conflict, failed, hit = c.lookupBuf(buf, s1, s2)
+	*bp = buf
+	keyBufPool.Put(bp)
+	return conflict, failed, hit
+}
+
+// AppendSeqKey renders one sequence's cache key into dst under the
+// cache's abstraction. Prepared projections memoize this per-location
+// rendering so LookupDetailKeys can skip re-abstracting either side.
+func (c *Cache) AppendSeqKey(dst []byte, syms []oplog.Sym) []byte {
+	return c.abs.AppendKey(dst, syms)
+}
+
+// LookupDetailKeys is LookupDetail for callers holding the two sequences'
+// pre-rendered keys (from AppendSeqKey): the pair key is assembled by
+// canonically joining them, skipping the per-call idempotent-block search
+// that dominates key rendering. The symbolic sequences are still required
+// to evaluate a cached condition on the concrete instance.
+func (c *Cache) LookupDetailKeys(k1, k2 []byte, s1, s2 []oplog.Sym) (conflict bool, failed commute.Check, hit bool) {
+	bp := keyBufPool.Get().(*[]byte)
+	buf := seqabs.AppendJoinedKeys((*bp)[:0], k1, k2)
+	conflict, failed, hit = c.lookupBuf(buf, s1, s2)
+	*bp = buf
+	keyBufPool.Put(bp)
+	return conflict, failed, hit
+}
+
+// lookupBuf is the lookup body shared by LookupDetail and
+// LookupDetailKeys; buf holds the rendered canonical pair key.
+func (c *Cache) lookupBuf(buf []byte, s1, s2 []oplog.Sym) (conflict bool, failed commute.Check, hit bool) {
 	sh := c.shardForBytes(buf)
 	var kind commute.ConditionKind
 	var ok bool
@@ -209,8 +239,6 @@ func (c *Cache) LookupDetail(s1, s2 []oplog.Sym) (conflict bool, failed commute.
 		sh.mu.RUnlock()
 	}
 	sh.note(buf, ok)
-	*bp = buf
-	keyBufPool.Put(bp)
 	if !ok {
 		return true, commute.CheckNone, false
 	}

@@ -14,6 +14,7 @@ package conflict
 
 import (
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/cache"
@@ -116,6 +117,13 @@ type Detector interface {
 	// hits, misses, fallbacks) are emitted through ctx. A zero Ctx
 	// disables tracing at no cost.
 	DetectV(ctx obs.Ctx, snapshot *state.State, txn oplog.Log, committed []oplog.Log) Verdict
+	// DetectPrepared is DetectV over commit-time prepared projections:
+	// txn is the running transaction's artifact (prepared once per
+	// attempt) and committed are the history entries' artifacts (each
+	// prepared once, at commit time, and shared read-only by every
+	// concurrent detector). This is the runtime's hot path; DetectV
+	// remains as the compatibility shim for callers holding raw logs.
+	DetectPrepared(ctx obs.Ctx, snapshot *state.State, txn *Prepared, committed []*Prepared) Verdict
 	Name() string
 }
 
@@ -182,12 +190,33 @@ func (w *WriteSet) Detect(snapshot *state.State, txn oplog.Log, committed []oplo
 	return w.DetectV(obs.Ctx{}, snapshot, txn, committed).Conflict
 }
 
-// DetectV implements Detector.
+// DetectV implements Detector. Raw logs have no prepared artifact to
+// reuse, so the access-mode maps are built per call — from a pool, so the
+// shim stays allocation-free at steady state.
 func (w *WriteSet) DetectV(_ obs.Ctx, _ *state.State, txn oplog.Log, committed []oplog.Log) Verdict {
 	atomic.AddInt64(&w.stats.Detections, 1)
-	mt := accessModes(txn)
+	mt := pooledModes(txn)
+	defer releaseModes(mt)
 	for _, c := range committed {
-		if p, q, hit := findWriteSetConflict(mt, accessModes(c), nil); hit {
+		mc := pooledModes(c)
+		p, q, hit := findWriteSetConflict(mt, mc, nil)
+		releaseModes(mc)
+		if hit {
+			atomic.AddInt64(&w.stats.Conflicts, 1)
+			w.reasons.add(ReasonWriteSet)
+			return Verdict{Conflict: true, Reason: ReasonWriteSet, P: p, Q: q}
+		}
+	}
+	return Verdict{}
+}
+
+// DetectPrepared implements Detector: both sides carry memoized access
+// modes, so no maps are rebuilt per call.
+func (w *WriteSet) DetectPrepared(_ obs.Ctx, _ *state.State, txn *Prepared, committed []*Prepared) Verdict {
+	atomic.AddInt64(&w.stats.Detections, 1)
+	mt := txn.accessModes()
+	for _, c := range committed {
+		if p, q, hit := findWriteSetConflict(mt, c.accessModes(), nil); hit {
 			atomic.AddInt64(&w.stats.Conflicts, 1)
 			w.reasons.add(ReasonWriteSet)
 			return Verdict{Conflict: true, Reason: ReasonWriteSet, P: p, Q: q}
@@ -203,6 +232,11 @@ type mode struct {
 
 func accessModes(l oplog.Log) map[oplog.PLoc]mode {
 	m := make(map[oplog.PLoc]mode)
+	fillModes(m, l)
+	return m
+}
+
+func fillModes(m map[oplog.PLoc]mode, l oplog.Log) {
 	for _, e := range l {
 		for _, a := range e.Acc {
 			cur := m[a.P]
@@ -211,7 +245,24 @@ func accessModes(l oplog.Log) map[oplog.PLoc]mode {
 			m[a.P] = cur
 		}
 	}
+}
+
+// modePool recycles the scratch access-mode maps WriteSet.DetectV builds
+// for raw logs (the prepared path reuses each artifact's memoized maps
+// instead).
+var modePool = sync.Pool{
+	New: func() any { return make(map[oplog.PLoc]mode, 16) },
+}
+
+func pooledModes(l oplog.Log) map[oplog.PLoc]mode {
+	m := modePool.Get().(map[oplog.PLoc]mode)
+	fillModes(m, l)
 	return m
+}
+
+func releaseModes(m map[oplog.PLoc]mode) {
+	clear(m)
+	modePool.Put(m)
 }
 
 // pairConflictsWriteSet applies the write-set rule over every overlapping
@@ -361,28 +412,38 @@ func (s *Sequence) Detect(snapshot *state.State, txn oplog.Log, committed []oplo
 	return s.DetectV(obs.Ctx{}, snapshot, txn, committed).Conflict
 }
 
-// DetectV implements Detector, realizing DETECTCONFLICTS of Figure 8: the
-// transaction's log and each committed transaction's log are decomposed
-// into per-location subsequences, and every overlapping pair is checked.
-// Cache hits, misses, and fallbacks are emitted through ctx; a conflict
-// verdict carries the failed check, the location pair, and (when tracing
-// is enabled) the symbolic shape pair.
+// DetectV implements Detector by preparing the raw logs and delegating to
+// DetectPrepared — the compatibility shim for callers without commit-time
+// artifacts (tests, the simulator). The runtime prepares each log once
+// and calls DetectPrepared directly.
 func (s *Sequence) DetectV(ctx obs.Ctx, snapshot *state.State, txn oplog.Log, committed []oplog.Log) Verdict {
+	return s.DetectPrepared(ctx, snapshot, Prepare(txn), PrepareAll(committed))
+}
+
+// DetectPrepared implements Detector, realizing DETECTCONFLICTS of
+// Figure 8 over prepared projections: every overlapping per-location
+// subsequence pair of the transaction and each committed transaction is
+// checked, reading the decomposition and symbolic shapes memoized at
+// preparation time instead of recomputing them per call. Cache hits,
+// misses, and fallbacks are emitted through ctx; a conflict verdict
+// carries the failed check, the location pair, and (when tracing is
+// enabled) the symbolic shape pair.
+func (s *Sequence) DetectPrepared(ctx obs.Ctx, snapshot *state.State, txn *Prepared, committed []*Prepared) Verdict {
 	atomic.AddInt64(&s.stats.Detections, 1)
-	mt := oplog.Decompose(txn)
 	for _, c := range committed {
-		mc := oplog.Decompose(c)
-		for p, seqT := range mt {
-			for q, seqC := range mc {
-				if !p.Overlaps(q) {
+		for i := range txn.locs {
+			lt := &txn.locs[i]
+			for j := range c.locs {
+				lc := &c.locs[j]
+				if !lt.p.Overlaps(lc.p) {
 					continue
 				}
 				atomic.AddInt64(&s.stats.PairQueries, 1)
-				if v := s.pairVerdict(ctx, snapshot, p, q, seqT, seqC); v.Conflict {
+				if v := s.pairVerdict(ctx, snapshot, lt, lc); v.Conflict {
 					atomic.AddInt64(&s.stats.Conflicts, 1)
 					s.reasons.add(v.Reason)
 					if ctx.Enabled() {
-						v.ShapeT, v.ShapeC = symsString(seqT.Syms()), symsString(seqC.Syms())
+						v.ShapeT, v.ShapeC = symsString(lt.syms), symsString(lc.syms)
 					}
 					return v
 				}
@@ -406,14 +467,18 @@ func reasonForCheck(c commute.Check) Reason {
 	}
 }
 
-// pairVerdict answers one per-location query.
-func (s *Sequence) pairVerdict(ctx obs.Ctx, snapshot *state.State, p, q oplog.PLoc, seqT, seqC oplog.Log) Verdict {
+// pairVerdict answers one per-location query over prepared subsequences.
+// The symbolic shapes are read from the artifacts' memoized projections;
+// the access modes behind the fallback paths are memoized lazily on first
+// use.
+func (s *Sequence) pairVerdict(ctx obs.Ctx, snapshot *state.State, lt, lc *preparedLoc) Verdict {
+	p, q := lt.p, lc.p
 	conflict := func(r Reason) Verdict { return Verdict{Conflict: true, Reason: r, P: p, Q: q} }
 	// Wildcard-extent pairs (whole-relation observations) are outside the
 	// per-key sequence theories: conservative write-set rule.
-	if p.IsWildcard() || q.IsWildcard() {
+	if lt.wildcard || lc.wildcard {
 		atomic.AddInt64(&s.stats.Fallbacks, 1)
-		if s.fallback(seqT, seqC) {
+		if s.fallback(lt, lc) {
 			return conflict(ReasonWildcard)
 		}
 		return Verdict{}
@@ -421,17 +486,28 @@ func (s *Sequence) pairVerdict(ctx obs.Ctx, snapshot *state.State, p, q oplog.PL
 	loc := p.Loc()
 	if s.Relax.Any(loc) {
 		atomic.AddInt64(&s.stats.RelaxedChecks, 1)
-		if hit, reason := s.relaxedConflicts(loc, seqT, seqC); hit {
+		if hit, reason := s.relaxedConflicts(loc, lt, lc); hit {
 			return conflict(reason)
 		}
 		return Verdict{}
 	}
-	if s.InferWAW && !s.inferWAWConflicts(seqT, seqC) {
+	if s.InferWAW && !s.inferWAWConflicts(lt.syms, lc.syms) {
 		return Verdict{}
 	}
 	if s.Cache != nil && (s.ForceMiss == nil || !s.ForceMiss(int(ctx.Task), int(ctx.Attempt))) {
-		symsT, symsC := seqT.Syms(), seqC.Syms()
-		hitConflict, failed, hit := s.Cache.LookupDetail(symsT, symsC)
+		symsT, symsC := lt.syms, lc.syms
+		var hitConflict bool
+		var failed commute.Check
+		var hit bool
+		if kt, okT := lt.seqKey(s.Cache); okT {
+			if kc, okC := lc.seqKey(s.Cache); okC {
+				hitConflict, failed, hit = s.Cache.LookupDetailKeys(kt, kc, symsT, symsC)
+			} else {
+				hitConflict, failed, hit = s.Cache.LookupDetail(symsT, symsC)
+			}
+		} else {
+			hitConflict, failed, hit = s.Cache.LookupDetail(symsT, symsC)
+		}
 		if hit {
 			ctx.Cache(obs.EvCacheHit, string(p), "")
 			if hitConflict {
@@ -454,7 +530,7 @@ func (s *Sequence) pairVerdict(ctx obs.Ctx, snapshot *state.State, p, q oplog.PL
 	}
 	// Miss: concrete online check or write-set fallback.
 	if s.Online && snapshot != nil {
-		hit, err := commute.ConflictConcrete(snapshot, p, seqT, seqC)
+		hit, err := commute.ConflictConcrete(snapshot, p, lt.seq, lc.seq)
 		if err == nil {
 			if hit {
 				return conflict(ReasonOnline)
@@ -464,7 +540,7 @@ func (s *Sequence) pairVerdict(ctx obs.Ctx, snapshot *state.State, p, q oplog.PL
 	}
 	atomic.AddInt64(&s.stats.Fallbacks, 1)
 	ctx.Cache(obs.EvCacheFallback, string(p), "")
-	if s.fallback(seqT, seqC) {
+	if s.fallback(lt, lc) {
 		return conflict(ReasonWriteSet)
 	}
 	return Verdict{}
@@ -486,8 +562,7 @@ func symsString(syms []oplog.Sym) string {
 // (it already did), so its own reads and the pair's final-value
 // disagreement are immaterial. Pairs outside the effect theories report a
 // conflict here and flow on to the normal (stricter) pipeline.
-func (s *Sequence) inferWAWConflicts(seqT, seqC oplog.Log) bool {
-	symsT, symsC := seqT.Syms(), seqC.Syms()
+func (s *Sequence) inferWAWConflicts(symsT, symsC []oplog.Sym) bool {
 	if aT, ok := seqeff.AnalyzeRegister(symsT); ok {
 		if aC, ok := seqeff.AnalyzeRegister(symsC); ok {
 			return !seqeff.SameRead(aT, aC.Eff)
@@ -506,10 +581,10 @@ func (s *Sequence) inferWAWConflicts(seqT, seqC oplog.Log) bool {
 // COMMUTE. Sequences outside both theories fall back to the relaxed
 // write-set rule. On a conflict the reason names the residual check that
 // failed.
-func (s *Sequence) relaxedConflicts(loc state.Loc, seqT, seqC oplog.Log) (bool, Reason) {
+func (s *Sequence) relaxedConflicts(loc state.Loc, lt, lc *preparedLoc) (bool, Reason) {
 	dropSame := s.Relax.TolerateRAW(loc)
 	dropCommute := s.Relax.TolerateWAW(loc)
-	symsT, symsC := seqT.Syms(), seqC.Syms()
+	symsT, symsC := lt.syms, lc.syms
 	if a1, ok := seqeff.AnalyzeRegister(symsT); ok {
 		if a2, ok := seqeff.AnalyzeRegister(symsC); ok {
 			if !dropSame && (!seqeff.SameRead(a1, a2.Eff) || !seqeff.SameRead(a2, a1.Eff)) {
@@ -532,13 +607,14 @@ func (s *Sequence) relaxedConflicts(loc state.Loc, seqT, seqC oplog.Log) (bool, 
 			return false, ReasonNone
 		}
 	}
-	if pairConflictsWriteSet(accessModes(seqT), accessModes(seqC), s.Relax) {
+	if pairConflictsWriteSet(lt.accessModes(), lc.accessModes(), s.Relax) {
 		return true, ReasonRelaxation
 	}
 	return false, ReasonNone
 }
 
-// fallback applies the plain write-set rule to the pair's logs.
-func (s *Sequence) fallback(seqT, seqC oplog.Log) bool {
-	return pairConflictsWriteSet(accessModes(seqT), accessModes(seqC), s.Relax)
+// fallback applies the plain write-set rule to the pair's subsequences,
+// reading the access modes memoized in the prepared artifacts.
+func (s *Sequence) fallback(lt, lc *preparedLoc) bool {
+	return pairConflictsWriteSet(lt.accessModes(), lc.accessModes(), s.Relax)
 }

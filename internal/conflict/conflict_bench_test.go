@@ -29,13 +29,25 @@ func benchLog(b *testing.B, st *state.State, task int, ops ...oplog.Op) oplog.Lo
 	return l
 }
 
-// BenchmarkDetectHighContention measures the full sequence-detection path
-// under concurrency: many workers validating transactions against a
-// multi-entry committed history, with every per-location query answered by
-// the shared trained cache. This is the §5.3 hot path the sharded cache
-// exists for; run with -cpu 1,4,8.
-func BenchmarkDetectHighContention(b *testing.B) {
-	const nLocs = 16
+// benchFixture is the shared detection workload: identity-add transactions
+// over a pool of counters, validated against a multi-entry committed
+// history with every per-location query answered by the trained cache.
+type benchFixture struct {
+	st        *state.State
+	det       *Sequence
+	running   []oplog.Log
+	committed []oplog.Log
+	// committedPrep models the commit-time artifact: each committed log
+	// prepared exactly once, shared read-only by every detection below.
+	committedPrep []*Prepared
+}
+
+// benchSetup builds the fixture. stride controls contention: stride 1
+// packs all transactions onto overlapping counters (every pair of
+// per-location projections overlaps), while a stride of nLocs/len(txns)
+// spreads them so most pairs are disjoint.
+func benchSetup(b *testing.B, nLocs, stride int) *benchFixture {
+	b.Helper()
 	st := state.New()
 	for i := 0; i < nLocs; i++ {
 		st.Set(state.Loc("ctr"+strconv.Itoa(i)), state.Int(0))
@@ -60,19 +72,100 @@ func BenchmarkDetectHighContention(b *testing.B) {
 		}
 		return benchLog(b, st, task, ops...)
 	}
-	committed := make([]oplog.Log, 4)
-	for i := range committed {
-		committed[i] = txn(100+i, i*3)
+	f := &benchFixture{st: st, det: det}
+	f.committed = make([]oplog.Log, 4)
+	for i := range f.committed {
+		f.committed[i] = txn(100+i, i*stride)
 	}
-	running := make([]oplog.Log, 8)
-	for i := range running {
-		running[i] = txn(i+1, i)
+	f.running = make([]oplog.Log, 8)
+	for i := range f.running {
+		f.running[i] = txn(i+1, i*stride)
 	}
+	f.committedPrep = PrepareAll(f.committed)
+	return f
+}
+
+// detectOnce is one runtime attempt on the prepared path: the running
+// transaction's log is prepared once (as after runTaskBody, with pooled
+// buffers) and validated against the shared commit-time projections; an
+// attempt that does not publish recycles its artifact.
+func (f *benchFixture) detectOnce(b *testing.B, i int) {
+	prep := PreparePooled(f.running[i%len(f.running)])
+	v := f.det.DetectPrepared(obs.Ctx{}, f.st, prep, f.committedPrep)
+	prep.Recycle()
+	if v.Conflict {
+		b.Fatal("identity transactions must not conflict")
+	}
+}
+
+// BenchmarkDetectSequential measures one-goroutine detection on the
+// prepared path: per-attempt transaction preparation plus validation
+// against already-prepared committed history.
+func BenchmarkDetectSequential(b *testing.B) {
+	f := benchSetup(b, 16, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.detectOnce(b, i)
+	}
+}
+
+// BenchmarkDetectSequentialLegacy is the pre-projection baseline shape:
+// DetectV re-derives every per-location decomposition, symbolic shape,
+// and access-mode map on each call, for the committed side too.
+func BenchmarkDetectSequentialLegacy(b *testing.B) {
+	f := benchSetup(b, 16, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := f.det.DetectV(obs.Ctx{}, f.st, f.running[i%len(f.running)], f.committed)
+		if v.Conflict {
+			b.Fatal("identity transactions must not conflict")
+		}
+	}
+}
+
+// BenchmarkDetectParallel measures concurrent detection with transactions
+// spread across the location pool (most projection pairs disjoint), the
+// common low-conflict regime; run with -cpu 1,4,8.
+func BenchmarkDetectParallel(b *testing.B) {
+	f := benchSetup(b, 16, 4)
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			v := det.DetectV(obs.Ctx{}, st, running[i%len(running)], committed)
+			f.detectOnce(b, i)
+			i++
+		}
+	})
+}
+
+// BenchmarkDetectHighContention measures the full sequence-detection path
+// under concurrency: many workers validating transactions against a
+// multi-entry committed history whose projections all overlap, with every
+// per-location query answered by the shared trained cache. This is the
+// §5.3 hot path the commit-time prepared projections exist for; run with
+// -cpu 1,4,8.
+func BenchmarkDetectHighContention(b *testing.B) {
+	f := benchSetup(b, 16, 1)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			f.detectOnce(b, i)
+			i++
+		}
+	})
+}
+
+// BenchmarkDetectHighContentionLegacy is the same workload on the DetectV
+// compatibility shim, which prepares both sides on every call — the cost
+// profile of the pre-projection detector.
+func BenchmarkDetectHighContentionLegacy(b *testing.B) {
+	f := benchSetup(b, 16, 1)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			v := f.det.DetectV(obs.Ctx{}, f.st, f.running[i%len(f.running)], f.committed)
 			i++
 			if v.Conflict {
 				b.Fatal("identity transactions must not conflict")

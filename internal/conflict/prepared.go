@@ -1,0 +1,199 @@
+// Prepared projections: the commit-time detection artifact.
+//
+// Committed logs are immutable, but the sequence detector used to
+// re-derive everything it needs from them — the per-location
+// decomposition (Figure 8's DECOMPOSE), the symbolic shapes fed to the
+// commutativity cache, and the access modes behind the write-set
+// fallback — on every detection, for every detecting transaction, on
+// every retry. Prepared hoists that work to a single computation per log
+// (at commit time for history entries, once per attempt for the running
+// transaction) and shares the result read-only among all concurrent
+// detectors — the same "compute once in hindsight, reuse at speed"
+// economics the paper applies to commutativity conditions, applied to the
+// validation path itself.
+package conflict
+
+import (
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/oplog"
+	"repro/internal/seqabs"
+)
+
+// Prepared is one transaction log with its detection-side projections
+// computed once: the per-location subsequences in first-access order,
+// each with its memoized symbolic shape, plus lazily memoized write-set
+// access modes. A Prepared is immutable after Prepare returns (the lazy
+// mode maps are guarded by sync.Once), so a single value is safely shared
+// by any number of concurrent DetectPrepared calls.
+type Prepared struct {
+	log  oplog.Log
+	locs []preparedLoc
+
+	// dec and symArena are the artifact's backing buffers. They are owned
+	// exclusively while preparing and recycled through preparedPool for
+	// unpublished attempts; a published Prepared keeps them forever.
+	dec      oplog.Decomposer
+	symArena []oplog.Sym
+
+	// modes memoizes the whole-log access modes the write-set detector
+	// compares; computed on first use, then read-only.
+	modesOnce sync.Once
+	modes     map[oplog.PLoc]mode
+}
+
+// preparedLoc is one per-projection-location subsequence with its
+// memoized projections. Accessed by pointer only (it embeds a sync.Once).
+type preparedLoc struct {
+	p        oplog.PLoc
+	seq      oplog.Log
+	syms     []oplog.Sym
+	wildcard bool
+
+	// modes memoizes the subsequence's access modes for the write-set
+	// fallback paths (wildcard extents, cache misses, relaxed residuals).
+	modesOnce sync.Once
+	modes     map[oplog.PLoc]mode
+
+	// key memoizes the subsequence's rendered commutativity-cache key, so
+	// pair lookups join two prepared keys instead of re-running the
+	// idempotent-block abstraction per query. Keys depend only on the
+	// cache's abstraction mode (caches always use the default block
+	// bound), so the memo is tagged with the mode it was rendered under.
+	keyOnce sync.Once
+	keyMode seqabs.Mode
+	key     []byte
+}
+
+// seqKey returns the projection's rendered cache key, computing it on
+// first use. ok is false when c abstracts under a different mode than the
+// memoized rendering — the caller must then fall back to a per-call
+// lookup (never the case in production, where one detector owns one
+// cache for the life of the run).
+func (pl *preparedLoc) seqKey(c *cache.Cache) (key []byte, ok bool) {
+	pl.keyOnce.Do(func() {
+		pl.keyMode = c.Mode()
+		pl.key = c.AppendSeqKey(nil, pl.syms)
+	})
+	if pl.keyMode != c.Mode() {
+		return nil, false
+	}
+	return pl.key, true
+}
+
+// Prepare computes a log's detection artifact. The per-location symbolic
+// shapes are materialized eagerly into a single shared arena (they are
+// needed on every cache lookup); the write-set mode maps are deferred to
+// first use, because a trained cache answers most runs without ever
+// falling back.
+func Prepare(l oplog.Log) *Prepared {
+	return prepareInto(new(Prepared), l)
+}
+
+// preparedPool recycles unpublished attempt artifacts (PreparePooled /
+// Recycle), keeping the per-attempt preparation allocation-free in the
+// steady state — the seqabs.AppendKey discipline applied to the whole
+// artifact.
+var preparedPool = sync.Pool{New: func() any { return new(Prepared) }}
+
+// PreparePooled is Prepare drawing the artifact and its backing buffers
+// from a pool. The caller owns the result exclusively until it either
+// publishes it to the committed history (after which it is shared
+// read-only forever and must never be recycled) or calls Recycle.
+func PreparePooled(l oplog.Log) *Prepared {
+	return prepareInto(preparedPool.Get().(*Prepared), l)
+}
+
+// Recycle returns an unpublished artifact's backing buffers to the pool.
+// The caller must guarantee no other goroutine can still reach p — in the
+// runtime, the artifact of an attempt that aborted without publishing.
+func (p *Prepared) Recycle() {
+	if p == nil {
+		return
+	}
+	p.dec.Release()
+	clear(p.symArena)
+	p.symArena = p.symArena[:0]
+	for i := range p.locs {
+		p.locs[i] = preparedLoc{}
+	}
+	p.locs = p.locs[:0]
+	p.log = nil
+	p.modesOnce = sync.Once{}
+	p.modes = nil
+	preparedPool.Put(p)
+}
+
+// prepareInto builds the artifact in place. p is either freshly allocated
+// or recycled (all lazy state zeroed by Recycle), never a live shared
+// value.
+func prepareInto(p *Prepared, l oplog.Log) *Prepared {
+	p.log = l
+	decomp := p.dec.Decompose(l)
+	if len(decomp) == 0 {
+		p.locs = p.locs[:0]
+		return p
+	}
+	total := 0
+	for i := range decomp {
+		total += len(decomp[i].Seq)
+	}
+	if cap(p.symArena) < total {
+		p.symArena = make([]oplog.Sym, total)
+	} else {
+		p.symArena = p.symArena[:total]
+	}
+	if cap(p.locs) < len(decomp) {
+		p.locs = make([]preparedLoc, len(decomp))
+	} else {
+		p.locs = p.locs[:len(decomp)]
+	}
+	off := 0
+	for i := range decomp {
+		d := &decomp[i]
+		syms := p.symArena[off : off+len(d.Seq) : off+len(d.Seq)]
+		off += len(d.Seq)
+		for j, e := range d.Seq {
+			syms[j] = e.Op.Sym()
+		}
+		p.locs[i] = preparedLoc{p: d.P, seq: d.Seq, syms: syms, wildcard: d.P.IsWildcard()}
+	}
+	return p
+}
+
+// PrepareAll prepares each log (a convenience for the DetectV shims and
+// tests; the runtime prepares incrementally, one entry per commit).
+func PrepareAll(logs []oplog.Log) []*Prepared {
+	if logs == nil {
+		return nil
+	}
+	out := make([]*Prepared, len(logs))
+	for i, l := range logs {
+		out[i] = Prepare(l)
+	}
+	return out
+}
+
+// Log returns the underlying transaction log.
+func (p *Prepared) Log() oplog.Log { return p.log }
+
+// Ops returns the number of logged operations.
+func (p *Prepared) Ops() int { return len(p.log) }
+
+// NumLocs returns the number of projection locations the log touches.
+func (p *Prepared) NumLocs() int { return len(p.locs) }
+
+// accessModes returns the whole-log write-set modes, computing them on
+// first use.
+func (p *Prepared) accessModes() map[oplog.PLoc]mode {
+	p.modesOnce.Do(func() { p.modes = accessModes(p.log) })
+	return p.modes
+}
+
+// accessModes returns the subsequence's write-set modes, computing them
+// on first use.
+func (pl *preparedLoc) accessModes() map[oplog.PLoc]mode {
+	pl.modesOnce.Do(func() { pl.modes = accessModes(pl.seq) })
+	return pl.modes
+}

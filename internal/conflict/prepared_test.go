@@ -1,0 +1,209 @@
+package conflict
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/cache"
+	"repro/internal/commute"
+	"repro/internal/obs"
+	"repro/internal/oplog"
+	"repro/internal/seqabs"
+	"repro/internal/state"
+)
+
+// randLog builds a random transaction log over the shared counters:
+// loads, bare adds, and identity add pairs (the shape the trained cache
+// below can answer). Conflicting and non-conflicting overlaps both occur.
+func randLog(t *testing.T, rng *rand.Rand, st *state.State, task int) oplog.Log {
+	t.Helper()
+	locs := []state.Loc{"work", "max"}
+	var ops []oplog.Op
+	for n := 1 + rng.Intn(3); n > 0; n-- {
+		loc := locs[rng.Intn(len(locs))]
+		switch rng.Intn(3) {
+		case 0:
+			ops = append(ops, adt.NumLoadOp{L: loc})
+		case 1:
+			ops = append(ops, adt.NumAddOp{L: loc, Delta: int64(rng.Intn(5))})
+		default:
+			d := int64(1 + rng.Intn(5))
+			ops = append(ops, adt.NumAddOp{L: loc, Delta: d}, adt.NumAddOp{L: loc, Delta: -d})
+		}
+	}
+	return record(t, st, task, ops...)
+}
+
+// trainedIdentityCache returns a frozen cache answering identity add
+// pairs, as the training pipeline would produce for the workload above.
+func trainedIdentityCache() *cache.Cache {
+	c := cache.New(seqabs.Abstract)
+	idSyms := func(n string) []oplog.Sym {
+		return []oplog.Sym{
+			{Kind: adt.KindNumAdd, Arg: n}, {Kind: adt.KindNumAdd, Arg: "-" + n},
+		}
+	}
+	c.Put(idSyms("1"), idSyms("2"), commute.CondRegister)
+	c.Freeze()
+	return c
+}
+
+// TestDetectorCompositionality is the property DetectPrepared's
+// incremental watermark relies on: a verdict against a committed window
+// is the disjunction of the verdicts against each entry alone, so
+// per-entry results are final and never need re-checking. Checked for
+// both detectors over randomized logs.
+func TestDetectorCompositionality(t *testing.T) {
+	st := baseState()
+	detectors := []Detector{
+		NewWriteSet(),
+		NewSequence(trainedIdentityCache(), nil),
+		NewSequence(nil, nil), // pure fallback
+	}
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		txn := randLog(t, rng, st, 1)
+		committed := make([]oplog.Log, rng.Intn(4))
+		for i := range committed {
+			committed[i] = randLog(t, rng, st, 100+i)
+		}
+		for _, det := range detectors {
+			whole := det.DetectV(obs.Ctx{}, st, txn, committed).Conflict
+			any := false
+			for _, c := range committed {
+				if det.DetectV(obs.Ctx{}, st, txn, []oplog.Log{c}).Conflict {
+					any = true
+				}
+			}
+			if whole != any {
+				t.Fatalf("trial %d, %s: whole-window verdict %v != per-entry disjunction %v",
+					trial, det.Name(), whole, any)
+			}
+		}
+	}
+}
+
+// TestDetectPreparedMatchesDetectV: the prepared path and the
+// compatibility shim must agree on every randomized input, for both
+// detectors.
+func TestDetectPreparedMatchesDetectV(t *testing.T) {
+	st := baseState()
+	detectors := []Detector{
+		NewWriteSet(),
+		NewSequence(trainedIdentityCache(), nil),
+		NewSequence(nil, nil),
+	}
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		txn := randLog(t, rng, st, 1)
+		committed := make([]oplog.Log, rng.Intn(4))
+		for i := range committed {
+			committed[i] = randLog(t, rng, st, 100+i)
+		}
+		prep := Prepare(txn)
+		prepC := PrepareAll(committed)
+		for _, det := range detectors {
+			v1 := det.DetectV(obs.Ctx{}, st, txn, committed)
+			v2 := det.DetectPrepared(obs.Ctx{}, st, prep, prepC)
+			if v1.Conflict != v2.Conflict {
+				t.Fatalf("trial %d, %s: DetectV=%v DetectPrepared=%v",
+					trial, det.Name(), v1.Conflict, v2.Conflict)
+			}
+		}
+	}
+}
+
+// TestPreparedSharedConcurrently shares one set of prepared projections
+// across many detecting goroutines — the commit-time sharing the runtime
+// does — and checks (under -race) that concurrent detection, including
+// the lazily memoized cache keys and access-mode maps, never mutates the
+// shared artifact or changes a verdict. One detector runs the trained
+// hot path (exercising seqKey memoization), the other has every lookup
+// forced to miss (exercising the write-set fallback's lazy mode maps).
+func TestPreparedSharedConcurrently(t *testing.T) {
+	st := baseState()
+	rng := rand.New(rand.NewSource(47))
+	committed := make([]oplog.Log, 4)
+	for i := range committed {
+		committed[i] = randLog(t, rng, st, 100+i)
+	}
+	prepC := PrepareAll(committed)
+	txns := make([]oplog.Log, 8)
+	preps := make([]*Prepared, len(txns))
+	for i := range txns {
+		txns[i] = randLog(t, rng, st, 1+i)
+		preps[i] = Prepare(txns[i])
+	}
+
+	hot := NewSequence(trainedIdentityCache(), nil)
+	missing := NewSequence(trainedIdentityCache(), nil)
+	missing.ForceMiss = func(int, int) bool { return true }
+
+	// Reference verdicts, computed single-threaded.
+	want := make([][2]bool, len(txns))
+	for i := range preps {
+		want[i] = [2]bool{
+			hot.DetectPrepared(obs.Ctx{}, st, preps[i], prepC).Conflict,
+			missing.DetectPrepared(obs.Ctx{}, st, preps[i], prepC).Conflict,
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				i := (g + iter) % len(preps)
+				if got := hot.DetectPrepared(obs.Ctx{}, st, preps[i], prepC).Conflict; got != want[i][0] {
+					errs <- "hot-path verdict changed under concurrency"
+					return
+				}
+				if got := missing.DetectPrepared(obs.Ctx{}, st, preps[i], prepC).Conflict; got != want[i][1] {
+					errs <- "fallback verdict changed under concurrency"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestPreparePooledRecycle: a recycled artifact's buffers must be fully
+// rebuilt on reuse — pool reuse yields the same projections and verdicts
+// as a fresh Prepare.
+func TestPreparePooledRecycle(t *testing.T) {
+	st := baseState()
+	rng := rand.New(rand.NewSource(53))
+	det := NewSequence(trainedIdentityCache(), nil)
+	committed := []oplog.Log{randLog(t, rng, st, 100), randLog(t, rng, st, 101)}
+	prepC := PrepareAll(committed)
+	for trial := 0; trial < 100; trial++ {
+		txn := randLog(t, rng, st, 1)
+		pooled := PreparePooled(txn)
+		fresh := Prepare(txn)
+		if pooled.NumLocs() != fresh.NumLocs() || pooled.Ops() != fresh.Ops() {
+			t.Fatalf("trial %d: pooled artifact shape %d/%d != fresh %d/%d",
+				trial, pooled.NumLocs(), pooled.Ops(), fresh.NumLocs(), fresh.Ops())
+		}
+		for i := range fresh.locs {
+			pl, fl := &pooled.locs[i], &fresh.locs[i]
+			if pl.p != fl.p || len(pl.seq) != len(fl.seq) || len(pl.syms) != len(fl.syms) {
+				t.Fatalf("trial %d: projection %d differs after pool reuse", trial, i)
+			}
+		}
+		got := det.DetectPrepared(obs.Ctx{}, st, pooled, prepC).Conflict
+		wanted := det.DetectPrepared(obs.Ctx{}, st, fresh, prepC).Conflict
+		if got != wanted {
+			t.Fatalf("trial %d: pooled verdict %v != fresh %v", trial, got, wanted)
+		}
+		pooled.Recycle()
+	}
+}

@@ -274,21 +274,39 @@ func (g *Governor) Detect(snapshot *state.State, txn oplog.Log, committed []oplo
 // arriving while tripped (a straggler that raced the trip) is answered
 // by the fallback.
 func (g *Governor) DetectV(ctx obs.Ctx, snapshot *state.State, txn oplog.Log, committed []oplog.Log) conflict.Verdict {
+	return g.govern(func(d conflict.Detector) conflict.Verdict {
+		return d.DetectV(ctx, snapshot, txn, committed)
+	})
+}
+
+// DetectPrepared implements conflict.Detector over commit-time prepared
+// projections; the routing and window accounting are identical to
+// DetectV's.
+func (g *Governor) DetectPrepared(ctx obs.Ctx, snapshot *state.State, txn *conflict.Prepared, committed []*conflict.Prepared) conflict.Verdict {
+	return g.govern(func(d conflict.Detector) conflict.Verdict {
+		return d.DetectPrepared(ctx, snapshot, txn, committed)
+	})
+}
+
+// govern runs one detection through the state machine: route is invoked
+// with whichever detector the current state selects, and the verdict
+// feeds the window accounting that drives transitions.
+func (g *Governor) govern(route func(conflict.Detector) conflict.Verdict) conflict.Verdict {
 	g.detections.Add(1)
 	var v conflict.Verdict
 	switch g.State() {
 	case Healthy:
-		v = g.primary.DetectV(ctx, snapshot, txn, committed)
+		v = route(g.primary)
 	case Degraded:
 		if g.sinceProbe.Add(1)%int64(g.cfg.ProbeEvery) == 0 {
-			v = g.probe(ctx, snapshot, txn, committed)
+			v = g.probe(route)
 		} else {
 			g.fallbackDets.Add(1)
-			v = g.fallback.DetectV(ctx, snapshot, txn, committed)
+			v = route(g.fallback)
 		}
 	default: // Tripped
 		g.fallbackDets.Add(1)
-		v = g.fallback.DetectV(ctx, snapshot, txn, committed)
+		v = route(g.fallback)
 	}
 	if v.Conflict {
 		g.winAborts.Add(1)
@@ -303,17 +321,17 @@ func (g *Governor) DetectV(ctx obs.Ctx, snapshot *state.State, txn oplog.Log, co
 // the outcome by the primary's fallback-ratio delta across the call. The
 // gate guarantees at most one probe is in flight, so the delta is
 // attributable; detections that lose the gate race fall back normally.
-func (g *Governor) probe(ctx obs.Ctx, snapshot *state.State, txn oplog.Log, committed []oplog.Log) conflict.Verdict {
+func (g *Governor) probe(route func(conflict.Detector) conflict.Verdict) conflict.Verdict {
 	if !g.probeGate.CompareAndSwap(0, 1) {
 		g.fallbackDets.Add(1)
-		return g.fallback.DetectV(ctx, snapshot, txn, committed)
+		return route(g.fallback)
 	}
 	defer g.probeGate.Store(0)
 	var before conflict.Stats
 	if g.seq != nil {
 		before = g.seq.Stats()
 	}
-	v := g.primary.DetectV(ctx, snapshot, txn, committed)
+	v := route(g.primary)
 	g.probes.Add(1)
 	verdict, informative := true, false
 	if g.seq != nil {

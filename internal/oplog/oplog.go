@@ -162,6 +162,122 @@ func Decompose(l Log) map[PLoc]Log {
 	return out
 }
 
+// PLocSeq is one per-projection-location subsequence produced by
+// DecomposeOrdered.
+type PLocSeq struct {
+	P   PLoc
+	Seq Log
+}
+
+// Decomposer performs ordered per-location decomposition with reusable
+// buffers, so repeated decompositions (one per transaction attempt) only
+// allocate when a capacity grows. The zero value is ready to use.
+type Decomposer struct {
+	out    []PLocSeq
+	counts []int
+	arena  Log
+	idx    map[PLoc]int
+}
+
+// linearScanAccesses bounds the access count under which first-access
+// discovery runs by linear scan over the output slice; larger logs build
+// the index map. Typical transactions touch a handful of locations, and
+// below this bound the scan beats a map both in time and allocation.
+const linearScanAccesses = 64
+
+// Decompose splits l into per-location subsequences in first-access
+// order, program order within each (the DECOMPOSE step of Figure 8). The
+// returned slice and the Logs it references are owned by the Decomposer
+// and remain valid until its next Decompose or Release call; callers that
+// retain the result must not reuse the Decomposer.
+func (d *Decomposer) Decompose(l Log) []PLocSeq {
+	total := 0
+	for _, e := range l {
+		total += len(e.Acc)
+	}
+	d.out = d.out[:0]
+	d.counts = d.counts[:0]
+	if total == 0 {
+		return d.out
+	}
+	useMap := total > linearScanAccesses
+	if useMap {
+		if d.idx == nil {
+			d.idx = make(map[PLoc]int, 16)
+		} else {
+			clear(d.idx)
+		}
+	}
+	find := func(p PLoc) int {
+		if useMap {
+			if i, ok := d.idx[p]; ok {
+				return i
+			}
+			return -1
+		}
+		for i := range d.out {
+			if d.out[i].P == p {
+				return i
+			}
+		}
+		return -1
+	}
+	// First pass: discover locations in first-access order and count each
+	// subsequence's length.
+	for _, e := range l {
+		for _, a := range e.Acc {
+			if i := find(a.P); i >= 0 {
+				d.counts[i]++
+				continue
+			}
+			if useMap {
+				d.idx[a.P] = len(d.out)
+			}
+			d.out = append(d.out, PLocSeq{P: a.P})
+			d.counts = append(d.counts, 1)
+		}
+	}
+	// Second pass: carve per-location windows out of one arena and fill.
+	if cap(d.arena) < total {
+		d.arena = make(Log, total)
+	} else {
+		d.arena = d.arena[:total]
+	}
+	off := 0
+	for i := range d.out {
+		d.out[i].Seq = d.arena[off : off : off+d.counts[i]]
+		off += d.counts[i]
+	}
+	for _, e := range l {
+		for _, a := range e.Acc {
+			i := find(a.P)
+			d.out[i].Seq = append(d.out[i].Seq, e)
+		}
+	}
+	return d.out
+}
+
+// Release drops the event references held by the Decomposer's buffers
+// (keeping their capacity), so pooled decomposers do not pin old logs.
+func (d *Decomposer) Release() {
+	clear(d.arena)
+	for i := range d.out {
+		d.out[i] = PLocSeq{}
+	}
+	d.out = d.out[:0]
+	d.counts = d.counts[:0]
+}
+
+// DecomposeOrdered is Decompose returning the subsequences as a slice in
+// first-access order instead of a map: iteration is deterministic and the
+// subsequences share a single backing array, so a decomposition that is
+// computed once and then read by many concurrent detectors (see
+// conflict.Prepared) stays cheap regardless of how many locations the log
+// touches. The result is independently owned by the caller.
+func DecomposeOrdered(l Log) []PLocSeq {
+	return new(Decomposer).Decompose(l)
+}
+
 // Writes reports whether any event in the log writes p.
 func (l Log) Writes(p PLoc) bool {
 	for _, e := range l {

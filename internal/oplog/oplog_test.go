@@ -160,3 +160,95 @@ func TestSymsAndStrings(t *testing.T) {
 		t.Errorf("log String = %q", got)
 	}
 }
+
+// randDecomposeLog builds a log over nLocs scalar locations with total
+// accesses, deterministic per seed.
+func randDecomposeLog(st *state.State, nLocs, total, seed int) Log {
+	var l Log
+	for i := 0; i < total; i++ {
+		loc := state.Loc(string(rune('a' + (i*7+seed*3)%nLocs)))
+		l = append(l, mkEvent(1, i, fakeOp{loc: loc, add: 1}, st))
+	}
+	return l
+}
+
+func TestDecomposeOrderedMatchesDecompose(t *testing.T) {
+	st := state.New()
+	for n := 0; n < 8; n++ {
+		st.Set(state.Loc(string(rune('a'+n))), state.Int(0))
+	}
+	// Cover both the linear-scan path and the map path (more than
+	// linearScanAccesses accesses).
+	for _, total := range []int{0, 1, 5, 20, linearScanAccesses + 10} {
+		l := randDecomposeLog(st, 5, total, total)
+		want := Decompose(l)
+		got := DecomposeOrdered(l)
+		if len(got) != len(want) {
+			t.Fatalf("total=%d: %d locations, want %d", total, len(got), len(want))
+		}
+		for _, ps := range got {
+			if !reflect.DeepEqual(ps.Seq, want[ps.P]) {
+				t.Fatalf("total=%d: subsequence for %q differs from Decompose", total, ps.P)
+			}
+		}
+	}
+}
+
+func TestDecomposeOrderedFirstAccessOrder(t *testing.T) {
+	st := state.New()
+	st.Set("x", state.Int(0))
+	st.Set("y", state.Int(0))
+	st.Set("z", state.Int(0))
+	l := Log{
+		mkEvent(1, 0, fakeOp{loc: "y", add: 1}, st),
+		mkEvent(1, 1, fakeOp{loc: "x", add: 1}, st),
+		mkEvent(1, 2, fakeOp{loc: "y", add: 1}, st),
+		mkEvent(1, 3, fakeOp{loc: "z", add: 1}, st),
+	}
+	got := DecomposeOrdered(l)
+	wantOrder := []PLoc{"y", "x", "z"}
+	if len(got) != len(wantOrder) {
+		t.Fatalf("locations = %d, want %d", len(got), len(wantOrder))
+	}
+	for i, p := range wantOrder {
+		if got[i].P != p {
+			t.Fatalf("slot %d = %q, want %q (first-access order)", i, got[i].P, p)
+		}
+	}
+	if len(got[0].Seq) != 2 || got[0].Seq[0] != l[0] || got[0].Seq[1] != l[2] {
+		t.Fatalf("y subsequence not in program order")
+	}
+}
+
+// TestDecomposerReuse: a Decomposer must produce correct results across
+// reuse (shrinking and growing logs) and drop event references on
+// Release.
+func TestDecomposerReuse(t *testing.T) {
+	st := state.New()
+	for n := 0; n < 8; n++ {
+		st.Set(state.Loc(string(rune('a'+n))), state.Int(0))
+	}
+	var d Decomposer
+	for _, total := range []int{30, 3, 0, linearScanAccesses + 5, 7} {
+		l := randDecomposeLog(st, 6, total, total)
+		want := Decompose(l)
+		got := d.Decompose(l)
+		if len(got) != len(want) {
+			t.Fatalf("total=%d: %d locations, want %d", total, len(got), len(want))
+		}
+		for _, ps := range got {
+			if !reflect.DeepEqual(ps.Seq, want[ps.P]) {
+				t.Fatalf("total=%d: subsequence for %q differs after reuse", total, ps.P)
+			}
+		}
+	}
+	d.Release()
+	for _, e := range d.arena {
+		if e != nil {
+			t.Fatal("Release left event references in the arena")
+		}
+	}
+	if len(d.out) != 0 {
+		t.Fatal("Release left subsequences behind")
+	}
+}

@@ -272,6 +272,19 @@ func (a *Abstracter) AppendPairKey(dst []byte, s1, s2 []oplog.Sym) []byte {
 	return dst
 }
 
+// AppendJoinedKeys renders the canonical pair key from two already
+// rendered sequence keys (AppendKey output): the keys are sorted and
+// joined exactly as AppendPairKey would, without re-abstracting either
+// sequence.
+func AppendJoinedKeys(dst, k1, k2 []byte) []byte {
+	if string(k2) < string(k1) {
+		k1, k2 = k2, k1
+	}
+	dst = append(dst, k1...)
+	dst = append(dst, pairSep...)
+	return append(dst, k2...)
+}
+
 func reverseBytes(b []byte) {
 	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
 		b[i], b[j] = b[j], b[i]

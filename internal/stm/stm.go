@@ -210,6 +210,12 @@ type Stats struct {
 	// CommitStalls counts commits that hit the MaxHistory bound and
 	// waited for reclamation to make room.
 	CommitStalls int64
+	// ValidationsSkipped counts committed-history entries the incremental
+	// detect/commit loop did NOT re-validate because a previous pass of
+	// the same attempt had already cleared them (committed logs are
+	// immutable, so per-entry verdicts are final): the rework the
+	// pre-watermark loop would have paid after every lost commit race.
+	ValidationsSkipped int64
 	// AbortReasons breaks Conflicts down by the detector check that
 	// failed (reason name → count); nil when no conflicts occurred.
 	AbortReasons map[string]int64
@@ -223,11 +229,13 @@ func (s Stats) RetryRatio() float64 {
 	return float64(s.Retries) / float64(s.Tasks)
 }
 
-// histEntry is one committed transaction's contribution to the history.
+// histEntry is one committed transaction's contribution to the history:
+// the log's detection artifact, prepared exactly once at commit time
+// (conflict.Prepare) and shared read-only by every concurrent detector.
 type histEntry struct {
 	commitTime int64 // clock value after the commit's increment
 	task       int
-	log        oplog.Log
+	prep       *conflict.Prepared
 }
 
 // Runtime executes one task set. It is single-use.
@@ -254,6 +262,12 @@ type Runtime struct {
 
 	stats        Stats
 	abortReasons [conflict.NumReasons]int64
+
+	// opsSum/opsCnt maintain a run-scope running average of operations
+	// per executed transaction body; createTransaction preallocates
+	// Tx.log capacity from it to cut append regrowth in Tx.Exec.
+	opsSum atomic.Int64
+	opsCnt atomic.Int64
 
 	errOnce sync.Once
 	err     error
@@ -452,6 +466,8 @@ func (r *Runtime) statsSnapshot() Stats {
 		BackoffWaits: atomic.LoadInt64(&r.stats.BackoffWaits),
 		Escalations:  atomic.LoadInt64(&r.stats.Escalations),
 		CommitStalls: atomic.LoadInt64(&r.stats.CommitStalls),
+
+		ValidationsSkipped: atomic.LoadInt64(&r.stats.ValidationsSkipped),
 	}
 	for reason := conflict.Reason(1); reason < conflict.NumReasons; reason++ {
 		if n := atomic.LoadInt64(&r.abortReasons[reason]); n > 0 {
@@ -612,14 +628,36 @@ func (r *Runtime) attempt(ctx obs.Ctx, task adt.Task, tid int) (committed bool, 
 		return false, err
 	}
 	ctx.End(obs.EvTxRun, runStart)
+	r.recordOps(len(tx.log))
+
+	// The transaction's own log is prepared once per attempt — not once
+	// per detection call — so every pass of the detect/commit loop below
+	// reuses the same decomposition and memoized shapes. If the commit
+	// succeeds, the same artifact becomes the history entry, making the
+	// commit-time preparation free; otherwise the attempt is the
+	// artifact's only owner and its buffers go back to the pool.
+	prep := conflict.PreparePooled(tx.log)
+	published := false
+	defer func() {
+		if !published {
+			prep.Recycle()
+		}
+	}()
 
 	// The conflict history grows monotonically while the transaction
 	// retries the detect/commit loop (reclamation never touches entries
 	// newer than an active transaction's begin), so each iteration fetches
 	// only the entries that committed since the previous attempt's
 	// snapshot instead of recopying the whole (begin, now] window.
-	var opsC []oplog.Log
+	var opsC []*conflict.Prepared
 	seen := tx.begin
+
+	// validated is the incremental watermark: opsC[:validated] passed a
+	// clean detection earlier in this attempt. Committed logs are
+	// immutable and per-entry verdicts compose (see conflict.Detector),
+	// so those verdicts are final — after a lost commit race only the
+	// entries that committed since the last clean pass are checked.
+	validated := 0
 
 	if r.cfg.Ordered {
 		// Wait until all preceding tasks committed: clock == tid. Under
@@ -672,8 +710,14 @@ func (r *Runtime) attempt(ctx obs.Ctx, task adt.Task, tid int) (committed bool, 
 			return false, nil
 		}
 		valStart := ctx.Now()
-		verdict := r.detector.DetectV(ctx, tx.snap, tx.log, opsC)
+		if validated > 0 {
+			atomic.AddInt64(&r.stats.ValidationsSkipped, int64(validated))
+		}
+		verdict := r.detector.DetectPrepared(ctx, tx.snap, prep, opsC[validated:])
 		ctx.End(obs.EvTxValidate, valStart)
+		if !verdict.Conflict {
+			validated = len(opsC)
+		}
 		if verdict.Conflict {
 			atomic.AddInt64(&r.stats.Conflicts, 1)
 			atomic.AddInt64(&r.abortReasons[verdict.Reason], 1)
@@ -690,8 +734,9 @@ func (r *Runtime) attempt(ctx obs.Ctx, task adt.Task, tid int) (committed bool, 
 			h.WindowDelay(tid)
 		}
 		commitStart := ctx.Now()
-		switch r.commit(tx, now) {
+		switch r.commit(tx, prep, now) {
 		case commitOK:
+			published = true
 			ctx.End(obs.EvTxCommit, commitStart)
 			return true, nil
 		case commitStall:
@@ -715,12 +760,45 @@ func (r *Runtime) attempt(ctx obs.Ctx, task adt.Task, tid int) (committed bool, 
 	}
 }
 
+// recordOps feeds one executed transaction body's op count into the
+// running ops-per-transaction average behind logCapHint.
+func (r *Runtime) recordOps(n int) {
+	r.opsSum.Add(int64(n))
+	r.opsCnt.Add(1)
+}
+
+// maxLogCapHint bounds the preallocation so one outlier transaction
+// cannot make every later transaction over-allocate.
+const maxLogCapHint = 1 << 14
+
+// logCapHint returns the Tx.log capacity to preallocate: the running
+// average of ops per executed transaction body (rounded up), bounded by
+// MaxTxnOps and maxLogCapHint. 0 — before any sample — lets append grow
+// the log organically.
+func (r *Runtime) logCapHint() int {
+	cnt := r.opsCnt.Load()
+	if cnt == 0 {
+		return 0
+	}
+	hint := int((r.opsSum.Load() + cnt - 1) / cnt)
+	if r.cfg.MaxTxnOps > 0 && hint > r.cfg.MaxTxnOps {
+		hint = r.cfg.MaxTxnOps
+	}
+	if hint > maxLogCapHint {
+		hint = maxLogCapHint
+	}
+	return hint
+}
+
 // createTransaction is CREATETRANSACTION of Figure 7.
 func (r *Runtime) createTransaction(tid int) *Tx {
 	r.lock.RLock()
 	defer r.lock.RUnlock()
 	begin := r.clock.Load()
 	tx := &Tx{tid: tid, begin: begin, maxOps: r.cfg.MaxTxnOps}
+	if hint := r.logCapHint(); hint > 0 {
+		tx.log = make(oplog.Log, 0, hint)
+	}
 	if r.cfg.Privatize == PrivatizePersistent {
 		ver := r.version.Load()
 		fault := func(l state.Loc) (state.Value, bool) {
@@ -774,7 +852,7 @@ func (r *Runtime) advanceBegin(tid int, seen int64) {
 // (later fetches read (seen, now] only) and let it be reclaimed unseen.
 // Every entry in (seen, cap] is present, because this waiter's begin
 // watermark pins entries newer than seen against reclamation.
-func (r *Runtime) drainLocked(tid int, seen int64, opsC *[]oplog.Log) int64 {
+func (r *Runtime) drainLocked(tid int, seen int64, opsC *[]*conflict.Prepared) int64 {
 	if len(r.history) == 0 {
 		return seen
 	}
@@ -787,7 +865,7 @@ func (r *Runtime) drainLocked(tid int, seen int64, opsC *[]oplog.Log) int64 {
 	}
 	lo := sort.Search(len(r.history), func(i int) bool { return r.history[i].commitTime > seen })
 	for _, h := range r.history[lo:] {
-		*opsC = append(*opsC, h.log)
+		*opsC = append(*opsC, h.prep)
 	}
 	if b, ok := r.begins[tid]; ok && now > b {
 		r.begins[tid] = now
@@ -796,13 +874,13 @@ func (r *Runtime) drainLocked(tid int, seen int64, opsC *[]oplog.Log) int64 {
 	return now
 }
 
-// committedHistory returns the logs of transactions that committed in
-// (begin, now], one per transaction in commit order — GETCOMMITTEDHISTORY
-// of Figure 7. Commit times are strictly increasing in history order
-// (each commit appends under the write lock after advancing the clock,
-// and reclamation only drops a prefix), so the window is found by binary
-// search instead of scanning the whole history.
-func (r *Runtime) committedHistory(begin, now int64) []oplog.Log {
+// committedHistory returns the prepared artifacts of transactions that
+// committed in (begin, now], one per transaction in commit order —
+// GETCOMMITTEDHISTORY of Figure 7. Commit times are strictly increasing
+// in history order (each commit appends under the write lock after
+// advancing the clock, and reclamation only drops a prefix), so the
+// window is found by binary search instead of scanning the whole history.
+func (r *Runtime) committedHistory(begin, now int64) []*conflict.Prepared {
 	r.histMu.Lock()
 	defer r.histMu.Unlock()
 	lo := sort.Search(len(r.history), func(i int) bool { return r.history[i].commitTime > begin })
@@ -810,9 +888,9 @@ func (r *Runtime) committedHistory(begin, now int64) []oplog.Log {
 	if lo >= hi {
 		return nil
 	}
-	out := make([]oplog.Log, hi-lo)
+	out := make([]*conflict.Prepared, hi-lo)
 	for i, h := range r.history[lo:hi] {
-		out[i] = h.log
+		out[i] = h.prep
 	}
 	return out
 }
@@ -832,7 +910,7 @@ const (
 // the log onto the shared state. Under Config.MaxHistory a commit that
 // would overflow the bound returns commitStall — before mutating any
 // shared state — and the caller waits for reclamation to make room.
-func (r *Runtime) commit(tx *Tx, tcheck int64) commitResult {
+func (r *Runtime) commit(tx *Tx, prep *conflict.Prepared, tcheck int64) commitResult {
 	r.lock.Lock()
 	defer r.lock.Unlock()
 	if r.clock.Load() != tcheck {
@@ -848,7 +926,7 @@ func (r *Runtime) commit(tx *Tx, tcheck int64) commitResult {
 		r.fail(err)
 		return commitRace
 	}
-	r.publishLocked(tx.tid, tx.log)
+	r.publishLocked(tx.tid, prep)
 	return commitOK
 }
 
@@ -893,13 +971,15 @@ func (r *Runtime) replayLocked(log oplog.Log) error {
 	return log.Replay(r.shared)
 }
 
-// publishLocked advances the clock, appends the committed log to the
-// history, reclaims if configured, and wakes ordered-mode waiters. Caller
-// holds the write lock.
-func (r *Runtime) publishLocked(tid int, log oplog.Log) {
+// publishLocked advances the clock, appends the committed log's prepared
+// artifact to the history, reclaims if configured, and wakes ordered-mode
+// waiters. Caller holds the write lock. The artifact was prepared by the
+// committing attempt (its own validation reused it), so publication costs
+// no additional preparation work.
+func (r *Runtime) publishLocked(tid int, prep *conflict.Prepared) {
 	newClock := r.clock.Add(1)
 	r.histMu.Lock()
-	r.history = append(r.history, histEntry{commitTime: newClock, task: tid, log: log})
+	r.history = append(r.history, histEntry{commitTime: newClock, task: tid, prep: prep})
 	if n := int64(len(r.history)); n > atomic.LoadInt64(&r.stats.MaxHist) {
 		atomic.StoreInt64(&r.stats.MaxHist, n)
 	}
@@ -970,6 +1050,9 @@ func (r *Runtime) attemptSerial(ctx obs.Ctx, task adt.Task, tid int) (committed 
 	// freezes the clock, the shared state, and the persistent version for
 	// the duration, so the privatized view cannot go stale.
 	tx := &Tx{tid: tid, begin: r.clock.Load(), maxOps: r.cfg.MaxTxnOps}
+	if hint := r.logCapHint(); hint > 0 {
+		tx.log = make(oplog.Log, 0, hint)
+	}
 	if r.cfg.Privatize == PrivatizePersistent {
 		ver := r.version.Load()
 		fault := func(l state.Loc) (state.Value, bool) {
@@ -984,13 +1067,17 @@ func (r *Runtime) attemptSerial(ctx obs.Ctx, task adt.Task, tid int) (committed 
 	if err := runTaskBody(task, tx, tid); err != nil {
 		return false, err
 	}
+	r.recordOps(len(tx.log))
 	if h := r.cfg.Hooks; h != nil && h.CommitDelay != nil {
 		h.CommitDelay(tid)
 	}
 	if err := r.replayLocked(tx.log); err != nil {
 		return false, err
 	}
-	r.publishLocked(tid, tx.log)
+	// A serial transaction never validated, so its log has no artifact
+	// yet; prepare it here (under the write lock, once) for the detectors
+	// of every future transaction that finds it in the history.
+	r.publishLocked(tid, conflict.Prepare(tx.log))
 	ctx.End(obs.EvTxSerial, serialStart)
 	return true, nil
 }

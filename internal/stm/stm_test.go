@@ -241,6 +241,10 @@ func (a *alwaysConflict) DetectV(_ obs.Ctx, _ *state.State, _ oplog.Log, _ []opl
 	return conflict.Verdict{Conflict: true, Reason: conflict.ReasonWriteSet}
 }
 
+func (a *alwaysConflict) DetectPrepared(_ obs.Ctx, _ *state.State, _ *conflict.Prepared, _ []*conflict.Prepared) conflict.Verdict {
+	return conflict.Verdict{Conflict: true, Reason: conflict.ReasonWriteSet}
+}
+
 func (a *alwaysConflict) Name() string { return "always-conflict" }
 
 func TestReclaimLogs(t *testing.T) {
@@ -277,14 +281,14 @@ func TestReclaimReleasesLogReferences(t *testing.T) {
 		r.history = append(r.history, histEntry{
 			commitTime: ct,
 			task:       int(ct),
-			log:        oplog.Log{&oplog.Event{Task: int(ct)}},
+			prep:       conflict.Prepare(oplog.Log{&oplog.Event{Task: int(ct)}}),
 		})
 	}
 	r.clock.Store(7)
 	r.begins[1] = 4 // active transaction began at 4: entries ≤ 4 reclaimable
 	backing := r.history
 	collected := make(chan struct{}, 1)
-	runtime.SetFinalizer(backing[0].log[0], func(*oplog.Event) { collected <- struct{}{} })
+	runtime.SetFinalizer(backing[0].prep.Log()[0], func(*oplog.Event) { collected <- struct{}{} })
 
 	r.histMu.Lock()
 	r.reclaimLocked()
@@ -297,8 +301,8 @@ func TestReclaimReleasesLogReferences(t *testing.T) {
 		t.Fatalf("Reclaimed = %d, want 3", got)
 	}
 	for i := len(r.history); i < len(backing); i++ {
-		if backing[i].log != nil {
-			t.Errorf("dropped slot %d still references its log", i)
+		if backing[i].prep != nil {
+			t.Errorf("dropped slot %d still references its prepared log", i)
 		}
 	}
 	// With the slot zeroed, the reclaimed entry's log is unreachable and
@@ -325,14 +329,14 @@ func TestReclaimReleasesLogReferences(t *testing.T) {
 func TestDrainLockedCapsAtAppendedHistory(t *testing.T) {
 	r := New(Config{Ordered: true, MaxHistory: 8}, initialState())
 	r.history = append(r.history, histEntry{
-		commitTime: 2, task: 1, log: oplog.Log{&oplog.Event{Task: 1}},
+		commitTime: 2, task: 1, prep: conflict.Prepare(oplog.Log{&oplog.Event{Task: 1}}),
 	})
 	// A second commit is mid-publish: clock advanced to 3, its entry not
 	// yet appended.
 	r.clock.Store(3)
 	r.begins[7] = 1
 
-	var ops []oplog.Log
+	var ops []*conflict.Prepared
 	r.histMu.Lock()
 	seen := r.drainLocked(7, 1, &ops)
 	again := r.drainLocked(7, seen, &ops)
@@ -344,7 +348,7 @@ func TestDrainLockedCapsAtAppendedHistory(t *testing.T) {
 	if again != 2 {
 		t.Fatalf("re-drain watermark = %d, want 2", again)
 	}
-	if len(ops) != 1 || ops[0][0].Task != 1 {
+	if len(ops) != 1 || ops[0].Log()[0].Task != 1 {
 		t.Fatalf("drained ops = %+v, want exactly the committed log", ops)
 	}
 	if r.begins[7] != 2 {
@@ -360,7 +364,7 @@ func TestDrainLockedEmptyHistory(t *testing.T) {
 	r.clock.Store(5)
 	r.begins[3] = 1
 
-	var ops []oplog.Log
+	var ops []*conflict.Prepared
 	r.histMu.Lock()
 	seen := r.drainLocked(3, 1, &ops)
 	r.histMu.Unlock()
@@ -481,5 +485,55 @@ func TestDisabledTracingAddsNoAllocs(t *testing.T) {
 	if instrumented != base {
 		t.Fatalf("disabled tracing changed hot-path allocations: base=%.1f, instrumented=%.1f",
 			base, instrumented)
+	}
+}
+
+// TestPreparedSharingMatrix runs a contended mixed workload across the
+// full ordered/unordered × copy/persistent matrix. Retries, lost commit
+// races, and the incremental re-validation watermark all make concurrent
+// validators read the same published projections; under -race this
+// checks that sharing is sound and the outcome still matches the
+// sequential oracle.
+func TestPreparedSharingMatrix(t *testing.T) {
+	var tasks []adt.Task
+	for i := 1; i <= 12; i++ {
+		switch i % 3 {
+		case 0:
+			tasks = append(tasks, addTask(int64(i)))
+		case 1:
+			tasks = append(tasks, identityTask(int64(i)))
+		default:
+			tasks = append(tasks, appendTask(int64(i)))
+		}
+	}
+	want, err := RunSequential(initialState(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWork, _ := want.Get("work")
+	wantLog, _ := want.Get("log")
+	for _, ordered := range []bool{false, true} {
+		for _, priv := range []Privatize{PrivatizeCopy, PrivatizePersistent} {
+			cfg := Config{Threads: 4, Ordered: ordered, Privatize: priv, MaxHistory: 6}
+			got, _, err := Run(cfg, initialState(), tasks)
+			if err != nil {
+				t.Fatalf("ordered=%v priv=%v: %v", ordered, priv, err)
+			}
+			if ordered {
+				if !got.Equal(want) {
+					t.Fatalf("ordered priv=%v: %s != sequential %s", priv, got, want)
+				}
+				continue
+			}
+			// Unordered: the append log is some serialization, but the
+			// commutative counter and the log length are invariant.
+			if v, _ := got.Get("work"); !v.EqualValue(wantWork) {
+				t.Fatalf("unordered priv=%v: work = %v, want %v", priv, v, wantWork)
+			}
+			if v, _ := got.Get("log"); len(v.(state.IntList)) != len(wantLog.(state.IntList)) {
+				t.Fatalf("unordered priv=%v: log length %d, want %d",
+					priv, len(v.(state.IntList)), len(wantLog.(state.IntList)))
+			}
+		}
 	}
 }

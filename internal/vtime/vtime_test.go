@@ -253,6 +253,9 @@ func (alwaysConflict) Detect(*state.State, oplog.Log, []oplog.Log) bool { return
 func (alwaysConflict) DetectV(obs.Ctx, *state.State, oplog.Log, []oplog.Log) conflict.Verdict {
 	return conflict.Verdict{Conflict: true, Reason: conflict.ReasonWriteSet}
 }
+func (alwaysConflict) DetectPrepared(obs.Ctx, *state.State, *conflict.Prepared, []*conflict.Prepared) conflict.Verdict {
+	return conflict.Verdict{Conflict: true, Reason: conflict.ReasonWriteSet}
+}
 func (alwaysConflict) Name() string { return "always" }
 
 func TestInvalidThreads(t *testing.T) {
