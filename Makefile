@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench bench-contention bench-detect bench-governor chaos soak trace clean
+.PHONY: all vet build test race check bench bench-contention bench-detect bench-governor chaos soak trace record-replay clean
 
 all: check
 
@@ -15,7 +15,7 @@ test:
 
 # Short race job over the concurrency-heavy packages (mirrors CI).
 race:
-	$(GO) test -race -count=1 . ./internal/stm ./internal/conflict ./internal/obs ./internal/cache ./internal/vtime
+	$(GO) test -race -count=1 . ./internal/stm ./internal/conflict ./internal/obs ./internal/cache ./internal/vtime ./internal/rec
 
 # Short chaos soak under the race detector (mirrors CI): fault-injected
 # runs whose final state is checked against the sequential oracle.
@@ -63,5 +63,20 @@ bench-governor:
 trace:
 	$(GO) run ./cmd/janus-bench -trace out.json -workloads jfilesync
 
+# Record/replay round trip: capture a chaos-perturbed governed run as a
+# binary op trace, deterministically replay it (janus-replay exits nonzero
+# on any digest mismatch), and fold the replay timings plus the recording
+# overhead benchmark into BENCH_replay.json. Used by the nightly workflow;
+# the replay step IS gating — a mismatch means lost determinism.
+record-replay:
+	$(GO) run ./cmd/janus-bench -json -chaos 42 -govern -govern-window 8 \
+		-record janus.trace -workloads jfilesync > /dev/null
+	$(GO) run ./cmd/janus-replay -json -verify-ops janus.trace | \
+		$(GO) run ./cmd/janus-benchjson -reports -file BENCH_replay.json -label replay
+	$(GO) test -run '^$$' -bench BenchmarkRecord -benchmem ./internal/rec | \
+		tee record-overhead.txt
+	$(GO) run ./cmd/janus-benchjson -file BENCH_replay.json -label record-overhead \
+		< record-overhead.txt
+
 clean:
-	rm -f out.json bench-contention.txt BENCH_governor.json
+	rm -f out.json bench-contention.txt BENCH_governor.json janus.trace record-overhead.txt

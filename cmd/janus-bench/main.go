@@ -77,6 +77,9 @@ func main() {
 		backoff  = flag.Duration("backoff", 0, "base of the bounded exponential retry backoff, e.g. 50us (0 = retry immediately)")
 		govern   = flag.Bool("govern", false, "wrap profiled runs in the health governor (graceful degradation); with -chaos, adds a miss storm so the demotion path is exercised")
 		govWin   = flag.Int("govern-window", 0, "governor evaluation window size in detections (0 = default)")
+		record   = flag.String("record", "", "capture each profiled run as a replayable binary op-trace at this path (replay with janus-replay)")
+		recFly   = flag.Int("record-flight", 0, "flight-recorder mode: keep only this many trace chunks in memory and dump them on a governor demotion/trip (requires -record and -govern; 0 = stream the whole run)")
+		recGzip  = flag.Bool("record-gzip", false, "gzip-compress trace chunks")
 	)
 	flag.Parse()
 
@@ -84,6 +87,13 @@ func main() {
 		ProdRuns: *runs, CacheShards: *shards,
 		ChaosSeed: *chaosSd, SerializeAfter: *serAfter, BackoffBase: *backoff,
 		Govern: *govern, GovernWindow: *govWin,
+		RecordPath: *record, FlightChunks: *recFly, RecordGzip: *recGzip,
+	}
+	if *recFly > 0 && *record == "" {
+		fatalf("-record-flight requires -record")
+	}
+	if *recFly > 0 && !*govern {
+		fatalf("-record-flight dumps on governor transitions; add -govern")
 	}
 	switch *size {
 	case "production":
@@ -132,8 +142,8 @@ func main() {
 		profile(out, opts, *traceOut, *jsonOut, *detName)
 		return
 	}
-	if *chaosSd != 0 || *serAfter != 0 || *backoff != 0 || *govern || *govWin != 0 {
-		fatalf("-chaos/-serialize-after/-backoff/-govern apply to profiled wall-clock runs; add -json or -trace")
+	if *chaosSd != 0 || *serAfter != 0 || *backoff != 0 || *govern || *govWin != 0 || *record != "" {
+		fatalf("-chaos/-serialize-after/-backoff/-govern/-record apply to profiled wall-clock runs; add -json or -trace")
 	}
 	wantFig := func(n int) bool { return *figure == 0 && *table == 0 || *figure == n }
 	wantTab := func(n int) bool { return *figure == 0 && *table == 0 || *table == n }
@@ -182,6 +192,9 @@ func profile(out *os.File, opts bench.Opts, traceOut string, jsonOut bool, detNa
 	if traceOut != "" && len(names) > 1 {
 		fatalf("-trace profiles a single workload; got %d (use -workloads)", len(names))
 	}
+	if opts.RecordPath != "" && len(names) > 1 {
+		fatalf("-record captures a single workload; got %d (use -workloads)", len(names))
+	}
 	threads := opts.Threads[len(opts.Threads)-1]
 	var reports []bench.RunReport
 	failed := false
@@ -211,6 +224,14 @@ func profile(out *os.File, opts bench.Opts, traceOut string, jsonOut bool, detNa
 			check(f.Close())
 			fmt.Fprintf(os.Stderr, "janus-bench: wrote %s (%d workers, open in https://ui.perfetto.dev)\n",
 				traceOut, tracer.Workers())
+		}
+		if rep.Record != nil {
+			how := "stream"
+			if rep.FlightDump {
+				how = "flight dump"
+			}
+			fmt.Fprintf(os.Stderr, "janus-bench: recorded %s (%s, %d commits, %d events, %d bytes; replay with janus-replay)\n",
+				rep.RecordPath, how, rep.Record.Commits, rep.Record.Events, rep.Record.Bytes)
 		}
 	}
 	if jsonOut {

@@ -8,6 +8,14 @@
 //
 //	go test -bench Detect -benchmem ./internal/conflict |
 //	    janus-benchjson -file BENCH_detect.json -label after
+//
+// With -reports, stdin is instead a JSON array of bench.RunReport (the
+// output of `janus-bench -json` or `janus-replay -json`); each report
+// folds into the trajectory as wall-clock results, so replayed
+// production captures leave the same regression trail as benchmarks:
+//
+//	janus-replay -json janus.trace |
+//	    janus-benchjson -reports -file BENCH_replay.json -label replay
 package main
 
 import (
@@ -19,6 +27,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/bench"
 )
 
 // Result is one benchmark line.
@@ -44,12 +54,19 @@ type Entry struct {
 func main() {
 	file := flag.String("file", "BENCH_detect.json", "trajectory file to update")
 	label := flag.String("label", "", "label to record this run under (required)")
+	reports := flag.Bool("reports", false, "parse stdin as a bench.RunReport JSON array (janus-bench/janus-replay -json) instead of go test -bench text")
 	flag.Parse()
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "janus-benchjson: -label is required")
 		os.Exit(2)
 	}
-	entry, err := parse(bufio.NewScanner(os.Stdin))
+	var entry *Entry
+	var err error
+	if *reports {
+		entry, err = parseReports(os.Stdin)
+	} else {
+		entry, err = parse(bufio.NewScanner(os.Stdin))
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "janus-benchjson:", err)
 		os.Exit(1)
@@ -97,6 +114,47 @@ func load(path string) ([]Entry, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return entries, nil
+}
+
+// parseReports reads a bench.RunReport JSON array and renders each report
+// as two pseudo-benchmark results: the parallel run (Run/<workload>, one
+// iteration at the report's thread count) and its sequential baseline
+// (Sequential/<workload>). Failed reports are rejected — a trajectory
+// entry must not record a broken run as a data point.
+func parseReports(in *os.File) (*Entry, error) {
+	var reps []bench.RunReport
+	if err := json.NewDecoder(in).Decode(&reps); err != nil {
+		return nil, fmt.Errorf("parsing RunReport array: %w", err)
+	}
+	if len(reps) == 0 {
+		return nil, errors.New("no reports on stdin")
+	}
+	e := &Entry{Pkg: "repro/internal/bench"}
+	for _, r := range reps {
+		if r.Error != "" {
+			return nil, fmt.Errorf("report %s/%s failed: %s", r.Workload, r.Detector, r.Error)
+		}
+		name := r.Workload
+		if r.Detector != "" {
+			name += "/" + r.Detector
+		}
+		if r.ElapsedNs > 0 {
+			e.Results = append(e.Results, Result{
+				Name: "Run/" + name, Procs: r.Threads,
+				Iterations: 1, NsPerOp: float64(r.ElapsedNs),
+			})
+		}
+		if r.SequentialNs > 0 {
+			e.Results = append(e.Results, Result{
+				Name: "Sequential/" + name, Procs: 1,
+				Iterations: 1, NsPerOp: float64(r.SequentialNs),
+			})
+		}
+	}
+	if len(e.Results) == 0 {
+		return nil, errors.New("reports carried no timings")
+	}
+	return e, nil
 }
 
 // parse reads `go test -bench` text output: header lines (goos, goarch,

@@ -103,6 +103,18 @@ type Opts struct {
 	// GovernWindow overrides the governor's evaluation window size
 	// (0 = the internal/health default).
 	GovernWindow int
+	// RecordPath, when set, captures each profiled run as a replayable
+	// binary trace (internal/rec) and writes it there. With FlightChunks
+	// = 0 the trace streams the whole run and is written at the end; with
+	// FlightChunks > 0 the recorder keeps only that many recent chunks in
+	// memory and dumps them to RecordPath the moment the health governor
+	// demotes or trips (flight-recorder mode; requires Govern).
+	RecordPath string
+	// FlightChunks bounds the recorder's in-memory chunk ring (0 =
+	// unbounded stream capture).
+	FlightChunks int
+	// RecordGzip compresses trace chunks.
+	RecordGzip bool
 }
 
 func (o Opts) defaults() Opts {

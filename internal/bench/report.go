@@ -11,6 +11,7 @@ import (
 	"repro/internal/conflict"
 	"repro/internal/health"
 	"repro/internal/obs"
+	"repro/internal/rec"
 	"repro/internal/stm"
 	"repro/internal/workloads"
 )
@@ -57,6 +58,37 @@ type RunReport struct {
 	// Trace summarizes the attached tracer (event counts, latency
 	// histograms) when one was supplied.
 	Trace map[string]any `json:"trace,omitempty"`
+	// RecordPath / Record report op-trace capture (Opts.RecordPath):
+	// where the artifact went and the recorder's counters. FlightDump is
+	// true when the artifact was dumped by the flight recorder on a
+	// governor demotion/trip rather than written at run end.
+	RecordPath string     `json:"record_path,omitempty"`
+	Record     *rec.Stats `json:"record,omitempty"`
+	FlightDump bool       `json:"flight_dump,omitempty"`
+	// Replay carries janus-replay's verification verdict when the report
+	// describes a replayed trace instead of a live workload run.
+	Replay *ReplayInfo `json:"replay,omitempty"`
+}
+
+// ReplayInfo is the replay-verification block of a janus-replay report.
+type ReplayInfo struct {
+	// Trace is the replayed artifact's path.
+	Trace string `json:"trace"`
+	// Commits is the number of transactions the trace retained.
+	Commits int64 `json:"commits"`
+	// DigestKind says what the recorded digest covers ("final",
+	// "derived", or "none").
+	DigestKind string `json:"digest_kind"`
+	// RecordedDigest / SequentialDigest / ParallelDigest are hex
+	// final-state fingerprints: from the trace footer, from commit-order
+	// sequential replay, and from the parallel stm re-execution
+	// (empty when that stage was skipped).
+	RecordedDigest   string `json:"recorded_digest,omitempty"`
+	SequentialDigest string `json:"sequential_digest"`
+	ParallelDigest   string `json:"parallel_digest,omitempty"`
+	// Match reports that every computed digest agreed with the recorded
+	// one (vacuously true for stages that didn't run).
+	Match bool `json:"match"`
 }
 
 // ProfileRun trains the hindsight engine for w (unless the write-set
@@ -121,16 +153,49 @@ func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, trace
 	if tracer != nil {
 		tr = tracer
 	}
+	var recorder *rec.Recorder
+	var sink stm.CommitSink
+	flightDumped := false
+	if o.RecordPath != "" {
+		recorder = rec.New(rec.Meta{
+			Workload:  w.Name,
+			Detector:  det.String(),
+			Ordered:   w.Ordered,
+			Privatize: stm.PrivatizePersistent,
+			Threads:   threads,
+			Tasks:     len(tasks),
+			Seed:      prodSeed,
+		}, w.NewState(), rec.Options{
+			Compress:     o.RecordGzip,
+			FlightChunks: o.FlightChunks,
+		})
+		sink = recorder
+		// Tee protocol events into the trace alongside the op logs.
+		tr = recorder.Tracer(tr)
+	}
 	var gov *health.Governor
 	var stmGov stm.Governor
 	if o.Govern {
-		gov = health.NewGovernor(d, nil, health.Config{Window: o.GovernWindow, Tracer: tr})
+		hc := health.Config{Window: o.GovernWindow, Tracer: tr}
+		if recorder != nil && o.FlightChunks > 0 {
+			// The flight-recorder incident hook: a demotion or trip dumps
+			// whatever the chunk ring holds. Restores don't — the artifact
+			// of interest is the state at the incident.
+			hc.OnTransition = func(from, to health.State, detail string) {
+				if to > from {
+					if err := recorder.WriteFile(o.RecordPath); err == nil {
+						flightDumped = true
+					}
+				}
+			}
+		}
+		gov = health.NewGovernor(d, nil, hc)
 		health.Publish("janus.health", gov)
 		d = gov
 		stmGov = gov
 	}
 	start := time.Now()
-	_, stats, err := stm.Run(stm.Config{
+	final, stats, err := stm.Run(stm.Config{
 		Threads:        threads,
 		Ordered:        w.Ordered,
 		Detector:       d,
@@ -140,6 +205,7 @@ func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, trace
 		SerializeAfter: o.SerializeAfter,
 		Hooks:          hooks,
 		Governor:       stmGov,
+		Record:         sink,
 	}, w.NewState(), tasks)
 	rep.ElapsedNs = int64(time.Since(start))
 	rep.Run = stats
@@ -166,6 +232,24 @@ func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, trace
 	}
 	if tracer != nil {
 		rep.Trace = tracer.Vars()
+	}
+	if recorder != nil {
+		// Seal the capture with the run's final state (nil on failure:
+		// the dump then reports no final digest rather than a wrong one).
+		recorder.Close(final)
+		rep.RecordPath = o.RecordPath
+		rep.FlightDump = flightDumped
+		if !flightDumped {
+			// Stream mode (or an incident-free flight run, where an
+			// end-of-run snapshot beats no artifact at all). An incident
+			// dump is preserved as-is — overwriting it with the post-
+			// recovery ring would destroy the evidence it captured.
+			if werr := recorder.WriteFile(o.RecordPath); werr != nil {
+				return fail(fmt.Errorf("bench: recording %s: %w", w.Name, werr))
+			}
+		}
+		rs := recorder.Stats()
+		rep.Record = &rs
 	}
 	if err != nil {
 		return fail(fmt.Errorf("bench: %s/%s/%d: %w", w.Name, det, threads, err))

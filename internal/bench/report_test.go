@@ -4,11 +4,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/adt"
+	"repro/internal/rec"
 	"repro/internal/state"
 	"repro/internal/stm"
 	"repro/internal/workloads"
@@ -102,5 +106,142 @@ func TestProfileRunChaosReport(t *testing.T) {
 	}
 	if rep.Run.Commits != int64(rep.Tasks) {
 		t.Fatalf("commits %d != tasks %d under chaos", rep.Run.Commits, rep.Tasks)
+	}
+}
+
+// TestStatsSchemaRoundTrip pins the RunReport JSON schema for trajectory
+// consumers: every stm.Stats field must carry a json tag (a new untagged
+// field would silently serialize under its Go name and break diffing),
+// and the contention/validation counters must appear under their
+// documented keys.
+func TestStatsSchemaRoundTrip(t *testing.T) {
+	rt := reflect.TypeOf(stm.Stats{})
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if f.Tag.Get("json") == "" {
+			t.Errorf("stm.Stats.%s has no json tag", f.Name)
+		}
+	}
+	rep := RunReport{
+		Workload: "schema", Detector: "seq", Threads: 2,
+		Run: stm.Stats{
+			Tasks: 1, Commits: 2, Retries: 3, Conflicts: 4,
+			BackoffWaits: 5, Escalations: 6, CommitStalls: 7,
+			ValidationsSkipped: 8,
+		},
+	}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]string{
+		"backoff_waits":       `"backoff_waits":5`,
+		"escalations":         `"escalations":6`,
+		"commit_stalls":       `"commit_stalls":7`,
+		"validations_skipped": `"validations_skipped":8`,
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("report JSON missing %s: %s", key, out)
+		}
+	}
+	var back RunReport
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Run, rep.Run) {
+		t.Errorf("stats did not round-trip: %+v != %+v", back.Run, rep.Run)
+	}
+}
+
+// TestProfileRunRecordRoundTrip is the end-to-end acceptance check for
+// stream capture: a recorded ProfileRun produces a trace file that decodes,
+// carries a final digest, and replays sequentially to that digest.
+func TestProfileRunRecordRoundTrip(t *testing.T) {
+	w, err := workloads.ByName("jfilesync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.trace")
+	opts := Opts{Size: workloads.Small, RecordPath: path}
+	rep, err := ProfileRun(w, Seq, 2, opts, nil)
+	if err != nil {
+		t.Fatalf("recorded run failed: %v", err)
+	}
+	if rep.RecordPath != path || rep.Record == nil {
+		t.Fatalf("record accounting missing: path=%q record=%v", rep.RecordPath, rep.Record)
+	}
+	if rep.Record.Commits != rep.Run.Commits {
+		t.Errorf("recorder saw %d commits, run committed %d", rep.Record.Commits, rep.Run.Commits)
+	}
+	if rep.FlightDump {
+		t.Error("stream capture flagged as flight dump")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	trace, err := rec.ReadTrace(f)
+	if err != nil {
+		t.Fatalf("ReadTrace on ProfileRun artifact: %v", err)
+	}
+	if trace.Meta.Workload != w.Name || trace.Meta.Tasks != rep.Tasks {
+		t.Errorf("trace meta %+v drifted from report", trace.Meta)
+	}
+	if trace.DigestKind != rec.DigestFinal {
+		t.Fatalf("digest kind = %s, want final", trace.DigestKind)
+	}
+	st, err := trace.ReplaySequential(true)
+	if err != nil {
+		t.Fatalf("ReplaySequential: %v", err)
+	}
+	if got := rec.Digest(st); got != trace.Digest {
+		t.Errorf("replay digest %016x != recorded %016x", got, trace.Digest)
+	}
+	if len(trace.Events) == 0 {
+		t.Error("no protocol events teed into the trace")
+	}
+}
+
+// TestProfileRunFlightDump drives the incident path: a governed chaos run
+// with a flight ring must dump the trace on the governor's demotion, and
+// the report must say so.
+func TestProfileRunFlightDump(t *testing.T) {
+	w, err := workloads.ByName("jfilesync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "incident.trace")
+	opts := Opts{
+		Size:       workloads.Small,
+		ChaosSeed:    42,
+		Govern:       true,
+		GovernWindow: 4,
+		RecordPath:   path, FlightChunks: 4,
+	}
+	rep, err := ProfileRun(w, Seq, 2, opts, nil)
+	if err != nil {
+		t.Fatalf("governed chaos run failed: %v", err)
+	}
+	if rep.Health == nil || rep.Health.Demotions == 0 {
+		t.Skipf("governor never demoted (health=%+v); flight dump not exercised", rep.Health)
+	}
+	if !rep.FlightDump {
+		t.Fatal("governor demoted but report carries no flight dump")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("flight dump artifact missing: %v", err)
+	}
+	defer f.Close()
+	trace, err := rec.ReadTrace(f)
+	if err != nil {
+		t.Fatalf("flight dump does not decode: %v", err)
+	}
+	// The dump happened mid-run (at the demotion), so it cannot carry a
+	// final digest — it is either derived (lossless ring) or absent
+	// (evictions).
+	if trace.DigestKind == rec.DigestFinal {
+		t.Error("mid-run flight dump claims a final digest")
 	}
 }

@@ -112,6 +112,13 @@ type Config struct {
 	// Tracer receives governor.demote / governor.probe /
 	// governor.restore events when non-nil.
 	Tracer obs.Tracer
+	// OnTransition runs on every state change with the old state, the
+	// new state, and the same detail string the governor event carries —
+	// the incident hook the flight recorder (internal/rec) uses to dump a
+	// trace on demotion or trip. It is called with the governor's
+	// transition lock held: implementations must return promptly and must
+	// not call back into the governor.
+	OnTransition func(from, to State, detail string)
 }
 
 func (c Config) withDefaults() Config {
@@ -436,6 +443,9 @@ func (g *Governor) transitionLocked(to State, detail string) {
 		g.restores.Add(1)
 	}
 	g.event(ev, detail)
+	if g.cfg.OnTransition != nil {
+		g.cfg.OnTransition(from, to, detail)
+	}
 }
 
 // event emits a governor event on lane -1 (untracked — transitions are

@@ -420,3 +420,48 @@ func TestProbeGateSerializesProbes(t *testing.T) {
 			s.Probes, s.FallbackDetections, s.Detections)
 	}
 }
+
+// TestOnTransitionHook pins the flight-recorder hook contract: every
+// state change invokes OnTransition exactly once with the correct
+// from/to pair and a non-empty detail, demotions and restores alike.
+func TestOnTransitionHook(t *testing.T) {
+	st := baseState()
+	type hop struct {
+		from, to State
+		detail   string
+	}
+	var hops []hop
+	g := NewGovernor(conflict.NewWriteSet(), nil, Config{
+		Window: 4, TripWindows: 2, ProbeEvery: 1000, RecoverCommits: 3,
+		OnTransition: func(from, to State, detail string) {
+			hops = append(hops, hop{from, to, detail})
+		},
+	})
+	add1 := record(t, st, 1, adt.NumAddOp{L: "work", Delta: 1})
+	add2 := record(t, st, 2, adt.NumAddOp{L: "work", Delta: 1})
+	conflicting := func(n int) {
+		for i := 0; i < n; i++ {
+			g.DetectV(obs.Ctx{}, st, add1, []oplog.Log{add2})
+		}
+	}
+	conflicting(12) // demote, then (two bad windows later) trip
+	for i := 0; i < 3; i++ {
+		g.ObserveCommit() // drain the serial budget: tripped → degraded
+	}
+	want := []hop{
+		{Healthy, Degraded, ""},
+		{Degraded, Tripped, ""},
+		{Tripped, Degraded, ""},
+	}
+	if len(hops) != len(want) {
+		t.Fatalf("OnTransition fired %d times (%+v), want %d", len(hops), hops, len(want))
+	}
+	for i, h := range hops {
+		if h.from != want[i].from || h.to != want[i].to {
+			t.Errorf("transition %d: %v→%v, want %v→%v", i, h.from, h.to, want[i].from, want[i].to)
+		}
+		if h.detail == "" {
+			t.Errorf("transition %d (%v→%v) carried no detail", i, h.from, h.to)
+		}
+	}
+}

@@ -85,7 +85,7 @@ func writeChromeJSON(w io.Writer, events []Event) error {
 		if e.Detail != "" {
 			ce.Args["detail"] = e.Detail
 		}
-		if e.Dur > 0 {
+		if e.Dur > 0 && !isMarker(e.Type) {
 			ce.Ph = "X"
 			ce.Dur = float64(e.Dur) / 1e3
 			if e.Type == EvTask {
@@ -93,7 +93,7 @@ func writeChromeJSON(w io.Writer, events []Event) error {
 			}
 		} else {
 			ce.Ph = "i"
-			ce.S = "t"
+			ce.S = markerScope(e.Type)
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)
 	}
@@ -101,6 +101,32 @@ func writeChromeJSON(w io.Writer, events []Event) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(out)
+}
+
+// isMarker reports whether an event type is a point-in-time marker —
+// cache queries, governor transitions, spec rejections — that must
+// render as a Chrome instant ("i") even if a duration sneaks onto it,
+// never as a zero-width span.
+func isMarker(t EventType) bool {
+	switch t {
+	case EvCacheHit, EvCacheMiss, EvCacheFallback,
+		EvGovDemote, EvGovProbe, EvGovRestore, EvSpecRejected:
+		return true
+	default:
+		return false
+	}
+}
+
+// markerScope picks the instant's highlight scope: governor transitions
+// and spec rejections are run-scoped incidents ("g" draws them across
+// the whole timeline); everything else stays on its thread lane.
+func markerScope(t EventType) string {
+	switch t {
+	case EvGovDemote, EvGovProbe, EvGovRestore, EvSpecRejected:
+		return "g"
+	default:
+		return "t"
+	}
 }
 
 // laneTid maps a worker id to a Chrome thread id (tids must be ≥ 0 and

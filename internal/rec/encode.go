@@ -1,0 +1,388 @@
+package rec
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"repro/internal/adt"
+	"repro/internal/oplog"
+	"repro/internal/state"
+	"repro/internal/stm"
+)
+
+// On-disk layout (all integers varint-encoded unless noted):
+//
+//	file   := magic format flags header chunk* footer
+//	magic  := "JANUSTRC" (8 raw bytes)
+//	header := uvarint(len) payload crc32(payload, 4 bytes LE)
+//	chunk  := 'C' uvarint(len(body)) uvarint(rawLen) body crc32(body)
+//	footer := 'F' uvarint(len) payload crc32(payload)
+//
+// The header payload carries the run metadata and a full snapshot of the
+// initial shared state; chunk bodies carry the transaction and event
+// records (gzip-compressed when the file flag says so; rawLen is the
+// uncompressed body length); the footer carries the commit count and the
+// final-state digest. Every frame is independently CRC32-checksummed —
+// the PR 4 spec-envelope discipline applied to a binary stream — so a
+// truncated or bit-flipped artifact is rejected with a typed *TraceError
+// instead of silently replaying garbage.
+//
+// Strings inside a chunk go through a per-chunk string table (0 marks an
+// inline definition that is appended to the table; n>0 is a back-reference
+// to entry n-1). The table is per chunk, not per file, so the flight
+// recorder can evict whole chunks from its ring without breaking the
+// back-references of the chunks it keeps.
+
+// traceMagic identifies a JANUS op-trace artifact.
+const traceMagic = "JANUSTRC"
+
+// traceFormat is the current schema version; bump on incompatible change.
+const traceFormat = 1
+
+// File-level flags.
+const flagGzip byte = 1 << 0
+
+// Frame markers.
+const (
+	frameChunk  byte = 'C'
+	frameFooter byte = 'F'
+)
+
+// Record kinds inside a chunk body.
+const (
+	recTxn   byte = 1
+	recEvent byte = 2
+)
+
+// Value tags (observed values and initial-state snapshot entries).
+const (
+	valNone byte = iota
+	valInt
+	valStr
+	valBool
+	valList
+	valRel
+)
+
+// Opcodes, one per concrete adt op type. These are part of the on-disk
+// format; append only.
+const (
+	opNumAdd byte = iota + 1
+	opNumStore
+	opNumLoad
+	opStrStore
+	opStrLoad
+	opBoolStore
+	opBoolLoad
+	opListPush
+	opListPop
+	opListSize
+	opRelPut
+	opRelRemove
+	opRelGet
+	opRelHas
+	opRelClear
+)
+
+// enc is an append-only encoder with an optional per-chunk string table.
+type enc struct {
+	buf []byte
+	tab map[string]uint64
+	// inline disables the string table (header/footer payloads, which
+	// must decode without chunk context).
+	inline bool
+}
+
+func newEnc(inline bool) *enc {
+	e := &enc{inline: inline}
+	if !inline {
+		e.tab = make(map[string]uint64)
+	}
+	return e
+}
+
+func (e *enc) u(v uint64)  { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *enc) i(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *enc) byte(v byte) { e.buf = append(e.buf, v) }
+
+func (e *enc) bool(v bool) {
+	if v {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+}
+
+// str writes a string: a back-reference into the chunk's string table
+// when the string was seen before, an inline definition otherwise.
+func (e *enc) str(s string) {
+	if !e.inline {
+		if idx, ok := e.tab[s]; ok {
+			e.u(idx + 1)
+			return
+		}
+	}
+	e.u(0)
+	e.u(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+	if !e.inline {
+		e.tab[s] = uint64(len(e.tab))
+	}
+}
+
+// value encodes a state.Value. Unknown implementations are a caller bug
+// guarded by encodableLog/encodableValue before any bytes are written.
+func (e *enc) value(v state.Value) {
+	switch x := v.(type) {
+	case nil:
+		e.byte(valNone)
+	case state.Int:
+		e.byte(valInt)
+		e.i(int64(x))
+	case state.Str:
+		e.byte(valStr)
+		e.str(string(x))
+	case state.Bool:
+		e.byte(valBool)
+		e.bool(bool(x))
+	case state.IntList:
+		e.byte(valList)
+		e.u(uint64(len(x)))
+		for _, n := range x {
+			e.i(n)
+		}
+	case state.Rel:
+		e.byte(valRel)
+		e.rel(x)
+	default:
+		panic(fmt.Sprintf("rec: unencodable value %T escaped encodableValue", v))
+	}
+}
+
+// rel encodes a relational value: columns, functional dependency, and the
+// tuple set in deterministic (sorted) order.
+func (e *enc) rel(v state.Rel) {
+	cols := v.R.Cols()
+	e.u(uint64(len(cols)))
+	for _, c := range cols {
+		e.str(c)
+	}
+	fd := v.R.FDef()
+	if fd == nil {
+		e.bool(false)
+	} else {
+		e.bool(true)
+		e.u(uint64(len(fd.Domain)))
+		for _, c := range fd.Domain {
+			e.str(c)
+		}
+		e.u(uint64(len(fd.Range)))
+		for _, c := range fd.Range {
+			e.str(c)
+		}
+	}
+	tuples := v.R.Tuples()
+	sort.Slice(tuples, func(i, j int) bool {
+		return tupleKey(tuples[i], cols) < tupleKey(tuples[j], cols)
+	})
+	e.u(uint64(len(tuples)))
+	for _, t := range tuples {
+		e.u(uint64(len(t)))
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			e.str(k)
+			e.str(t[k])
+		}
+	}
+}
+
+func tupleKey(t map[string]string, cols []string) string {
+	key := ""
+	for _, c := range cols {
+		key += t[c] + "\x00"
+	}
+	return key
+}
+
+// op encodes one concrete operation. The caller must have vetted the log
+// with encodableLog first; an unknown op type here is a programming error.
+func (e *enc) op(op oplog.Op) {
+	switch o := op.(type) {
+	case adt.NumAddOp:
+		e.byte(opNumAdd)
+		e.str(string(o.L))
+		e.i(o.Delta)
+	case adt.NumStoreOp:
+		e.byte(opNumStore)
+		e.str(string(o.L))
+		e.i(o.V)
+	case adt.NumLoadOp:
+		e.byte(opNumLoad)
+		e.str(string(o.L))
+	case adt.StrStoreOp:
+		e.byte(opStrStore)
+		e.str(string(o.L))
+		e.str(o.V)
+	case adt.StrLoadOp:
+		e.byte(opStrLoad)
+		e.str(string(o.L))
+	case adt.BoolStoreOp:
+		e.byte(opBoolStore)
+		e.str(string(o.L))
+		e.bool(o.V)
+	case adt.BoolLoadOp:
+		e.byte(opBoolLoad)
+		e.str(string(o.L))
+	case adt.ListPushOp:
+		e.byte(opListPush)
+		e.str(string(o.L))
+		e.i(o.V)
+	case adt.ListPopOp:
+		e.byte(opListPop)
+		e.str(string(o.L))
+	case adt.ListSizeOp:
+		e.byte(opListSize)
+		e.str(string(o.L))
+	case adt.RelPutOp:
+		e.byte(opRelPut)
+		e.str(string(o.L))
+		e.str(o.Key)
+		e.str(o.Val)
+	case adt.RelRemoveOp:
+		e.byte(opRelRemove)
+		e.str(string(o.L))
+		e.str(o.Key)
+	case adt.RelGetOp:
+		e.byte(opRelGet)
+		e.str(string(o.L))
+		e.str(o.Key)
+	case adt.RelHasOp:
+		e.byte(opRelHas)
+		e.str(string(o.L))
+		e.str(o.Key)
+	case adt.RelClearOp:
+		e.byte(opRelClear)
+		e.str(string(o.L))
+	default:
+		panic(fmt.Sprintf("rec: unencodable op %T escaped encodableLog", op))
+	}
+}
+
+// encodableValue reports whether a value has an on-disk encoding.
+func encodableValue(v state.Value) error {
+	switch v.(type) {
+	case nil, state.Int, state.Str, state.Bool, state.IntList, state.Rel:
+		return nil
+	default:
+		return fmt.Errorf("rec: value type %T has no trace encoding", v)
+	}
+}
+
+// encodableLog vets a transaction log before any bytes are written, so a
+// log containing an unknown op type (e.g. an unexported custom-ADT op)
+// marks the trace lossy without corrupting the chunk mid-record.
+func encodableLog(log oplog.Log) error {
+	for _, ev := range log {
+		switch ev.Op.(type) {
+		case adt.NumAddOp, adt.NumStoreOp, adt.NumLoadOp,
+			adt.StrStoreOp, adt.StrLoadOp,
+			adt.BoolStoreOp, adt.BoolLoadOp,
+			adt.ListPushOp, adt.ListPopOp, adt.ListSizeOp,
+			adt.RelPutOp, adt.RelRemoveOp, adt.RelGetOp, adt.RelHasOp, adt.RelClearOp:
+		default:
+			return fmt.Errorf("rec: op %q (%T) has no trace encoding", ev.Op.Sym().Kind, ev.Op)
+		}
+		if err := encodableValue(ev.Observed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// privatizeByte maps the stm privatization mode to its wire value.
+func privatizeByte(p stm.Privatize) byte {
+	if p == stm.PrivatizePersistent {
+		return 1
+	}
+	return 0
+}
+
+// appendFrame appends a length-prefixed, CRC32-trailed payload.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+// buildPrelude renders magic, format, flags, and the CRC'd header frame.
+func buildPrelude(meta Meta, initial *state.State, flags byte) ([]byte, error) {
+	e := newEnc(true)
+	e.str(meta.Workload)
+	e.str(meta.Detector)
+	e.bool(meta.Ordered)
+	e.byte(privatizeByte(meta.Privatize))
+	e.u(uint64(meta.Threads))
+	e.u(uint64(meta.Tasks))
+	e.i(meta.Seed)
+	locs := initial.Locs()
+	e.u(uint64(len(locs)))
+	for _, l := range locs {
+		v, _ := initial.Get(l)
+		if err := encodableValue(v); err != nil {
+			return nil, err
+		}
+		e.str(string(l))
+		e.value(v)
+	}
+	out := append([]byte(traceMagic), byte(traceFormat), flags)
+	return appendFrame(out, e.buf), nil
+}
+
+// chunkFrame seals a chunk body into its on-disk frame, compressing when
+// asked. rawLen always records the uncompressed body length.
+func chunkFrame(body []byte, compress bool) []byte {
+	raw := len(body)
+	if compress {
+		var zbuf bytes.Buffer
+		zw := gzip.NewWriter(&zbuf)
+		zw.Write(body) //nolint:errcheck // bytes.Buffer writes cannot fail
+		if err := zw.Close(); err != nil {
+			panic("rec: gzip to memory failed: " + err.Error())
+		}
+		body = zbuf.Bytes()
+	}
+	out := []byte{frameChunk}
+	out = binary.AppendUvarint(out, uint64(len(body)))
+	out = binary.AppendUvarint(out, uint64(raw))
+	out = append(out, body...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
+}
+
+// footerFrame renders the trailing frame: counts, completeness flags, and
+// the final-state digest.
+func footerFrame(commits, events int64, truncated, lossy bool, kind DigestKind, digest uint64, evicted int, lossyDetail string) []byte {
+	e := newEnc(true)
+	e.u(uint64(commits))
+	e.u(uint64(events))
+	var fl byte
+	if truncated {
+		fl |= 1 << 0
+	}
+	if lossy {
+		fl |= 1 << 1
+	}
+	e.byte(fl)
+	e.byte(byte(kind))
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, digest)
+	e.u(uint64(evicted))
+	e.str(lossyDetail)
+	return appendFrame([]byte{frameFooter}, e.buf)
+}

@@ -1,0 +1,361 @@
+package rec
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/oplog"
+	"repro/internal/state"
+	"repro/internal/stm"
+)
+
+// testState builds an initial state covering every value type.
+func testState() *state.State {
+	st := state.New()
+	st.Set("counter", state.Int(7))
+	st.Set("name", state.Str("seed"))
+	st.Set("flag", state.Bool(true))
+	st.Set("stack", state.IntList{1, 2, 3})
+	st.Set("bits", adt.NewRelValue())
+	return st
+}
+
+// testTasks builds n tasks exercising every op family; deterministic per
+// index so sequential and stm runs agree on the workload.
+func testTasks(n int) []adt.Task {
+	out := make([]adt.Task, n)
+	for i := 0; i < n; i++ {
+		i := i
+		out[i] = func(ex adt.Executor) error {
+			c := adt.Counter{L: "counter"}
+			if err := c.Add(ex, int64(i+1)); err != nil {
+				return err
+			}
+			if _, err := c.Load(ex); err != nil {
+				return err
+			}
+			if i%2 == 0 {
+				if err := (adt.StrVar{L: "name"}).Store(ex, "task"); err != nil {
+					return err
+				}
+			}
+			if i%3 == 0 {
+				if err := (adt.Stack{L: "stack"}).Push(ex, int64(i)); err != nil {
+					return err
+				}
+			}
+			if err := (adt.BitSet{L: "bits"}).Set(ex, i%8); err != nil {
+				return err
+			}
+			if _, err := (adt.BitSet{L: "bits"}).Get(ex, (i+1)%8); err != nil {
+				return err
+			}
+			return (adt.BoolVar{L: "flag"}).Store(ex, i%2 == 0)
+		}
+	}
+	return out
+}
+
+func testMeta(tasks int) Meta {
+	return Meta{
+		Workload: "rec-test", Detector: "write-set",
+		Ordered: false, Privatize: stm.PrivatizePersistent,
+		Threads: 4, Tasks: tasks, Seed: 99,
+	}
+}
+
+// recordRun executes tasks through the stm with a recorder attached and
+// closes it over the final state.
+func recordRun(t testing.TB, r *Recorder, initial *state.State, tasks []adt.Task, ordered bool) *state.State {
+	t.Helper()
+	final, _, err := stm.Run(stm.Config{
+		Threads: 4, Ordered: ordered, Privatize: stm.PrivatizePersistent,
+		Record: r, Tracer: r.Tracer(nil),
+	}, initial, tasks)
+	if err != nil {
+		t.Fatalf("stm.Run: %v", err)
+	}
+	r.Close(final)
+	return final
+}
+
+func TestRoundTripStream(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		name := "plain"
+		if compress {
+			name = "gzip"
+		}
+		t.Run(name, func(t *testing.T) {
+			initial := testState()
+			tasks := testTasks(40)
+			// Small chunks force multiple sealed frames per trace.
+			r := New(testMeta(len(tasks)), initial, Options{ChunkBytes: 256, Compress: compress})
+			final := recordRun(t, r, initial, tasks, false)
+
+			var buf bytes.Buffer
+			if _, err := r.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			tr, err := ReadTrace(&buf)
+			if err != nil {
+				t.Fatalf("ReadTrace: %v", err)
+			}
+			if tr.Meta != testMeta(len(tasks)) {
+				t.Errorf("meta round-trip: got %+v", tr.Meta)
+			}
+			if !tr.Initial.Equal(testState()) {
+				t.Errorf("initial state round-trip drifted:\n got %s\nwant %s", tr.Initial, testState())
+			}
+			if len(tr.Txns) != len(tasks) {
+				t.Fatalf("retained %d txns, want %d", len(tr.Txns), len(tasks))
+			}
+			if tr.Truncated || tr.Lossy {
+				t.Fatalf("stream capture flagged truncated=%v lossy=%v", tr.Truncated, tr.Lossy)
+			}
+			if tr.DigestKind != DigestFinal {
+				t.Fatalf("digest kind = %s, want final", tr.DigestKind)
+			}
+			if tr.Digest != Digest(final) {
+				t.Errorf("recorded digest %016x != final state digest %016x", tr.Digest, Digest(final))
+			}
+			// Commit times are unique and sorted after decode.
+			seen := map[int64]bool{}
+			for i, txn := range tr.Txns {
+				if seen[txn.CommitTime] {
+					t.Fatalf("duplicate commit time %d", txn.CommitTime)
+				}
+				seen[txn.CommitTime] = true
+				if i > 0 && txn.CommitTime < tr.Txns[i-1].CommitTime {
+					t.Fatalf("txns not sorted by commit time at %d", i)
+				}
+				if txn.Shape == "" {
+					t.Errorf("txn %d lost its shape key", i)
+				}
+				if len(txn.Ops) == 0 || len(txn.Observed) != len(txn.Ops) {
+					t.Fatalf("txn %d: %d ops, %d observed", i, len(txn.Ops), len(txn.Observed))
+				}
+			}
+			// The event stream teed through Tracer survives too.
+			if len(tr.Events) == 0 {
+				t.Error("no protocol events captured")
+			}
+			// Sequential oracle replay reproduces the recorded final state,
+			// checking every observed value on the way.
+			st, err := tr.ReplaySequential(true)
+			if err != nil {
+				t.Fatalf("ReplaySequential: %v", err)
+			}
+			if !st.Equal(final) {
+				t.Errorf("sequential replay drifted:\n got %s\nwant %s", st, final)
+			}
+		})
+	}
+}
+
+func TestFlightRingEvictionMarksTruncated(t *testing.T) {
+	initial := testState()
+	tasks := testTasks(60)
+	r := New(testMeta(len(tasks)), initial, Options{ChunkBytes: 256, FlightChunks: 2})
+	recordRun(t, r, initial, tasks, false)
+
+	st := r.Stats()
+	if st.EvictedChunks == 0 {
+		t.Fatalf("ring of 2 × 256B chunks must evict on %d tasks; stats %+v", len(tasks), st)
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if !tr.Truncated {
+		t.Error("evicting dump must be marked truncated")
+	}
+	if tr.EvictedChunks != st.EvictedChunks {
+		t.Errorf("footer evictions %d != stats %d", tr.EvictedChunks, st.EvictedChunks)
+	}
+	if int64(len(tr.Txns)) >= tr.Commits {
+		t.Errorf("truncated trace retained %d of %d commits — nothing was lost?", len(tr.Txns), tr.Commits)
+	}
+	// A truncated trace cannot be replayed — typed rejection.
+	if _, err := tr.ReplaySequential(false); err == nil {
+		t.Fatal("replaying a truncated trace must fail")
+	} else {
+		var terr *TraceError
+		if !errors.As(err, &terr) || terr.Reason != TraceTruncated {
+			t.Errorf("want *TraceError{TraceTruncated}, got %v", err)
+		}
+	}
+}
+
+func TestFlightMidRunDumpDerivesDigest(t *testing.T) {
+	initial := testState()
+	tasks := testTasks(25)
+	// Flight mode with a ring big enough that nothing evicts: a mid-run
+	// dump (recorder not closed) must carry a derived digest that
+	// sequential replay reproduces.
+	r := New(testMeta(len(tasks)), initial, Options{ChunkBytes: 512, FlightChunks: 64})
+	final, _, err := stm.Run(stm.Config{
+		Threads: 4, Privatize: stm.PrivatizePersistent, Record: r,
+	}, initial, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dump BEFORE Close — the incident path.
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if tr.DigestKind != DigestDerived {
+		t.Fatalf("mid-run lossless dump digest kind = %s, want derived", tr.DigestKind)
+	}
+	st, err := tr.ReplaySequential(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Digest(st); got != tr.Digest {
+		t.Errorf("replay digest %016x != derived digest %016x", got, tr.Digest)
+	}
+	// All commits landed before the dump, so the derived digest equals
+	// the true final state's.
+	if got := Digest(final); got != tr.Digest {
+		t.Errorf("final digest %016x != derived digest %016x", got, tr.Digest)
+	}
+}
+
+// customOp is an op type the trace format does not know.
+type customOp struct{ adt.NumAddOp }
+
+func TestUnencodableOpMarksLossy(t *testing.T) {
+	initial := testState()
+	r := New(testMeta(1), initial, Options{})
+	log := oplog.Log{
+		&oplog.Event{Op: customOp{adt.NumAddOp{L: "counter", Delta: 1}}},
+	}
+	r.ObserveCommitted(0, 1, log)
+	r.ObserveCommitted(1, 2, oplog.Log{&oplog.Event{Op: adt.NumAddOp{L: "counter", Delta: 2}}})
+	if st := r.Stats(); !st.Lossy || st.Commits != 1 {
+		t.Fatalf("stats after unencodable log: %+v, want lossy with 1 commit", st)
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Lossy || tr.LossyDetail == "" {
+		t.Fatalf("decoded trace lossy=%v detail=%q", tr.Lossy, tr.LossyDetail)
+	}
+	if tr.DigestKind != DigestNone {
+		t.Errorf("lossy dump digest kind = %s, want none", tr.DigestKind)
+	}
+	if _, err := tr.ReplaySequential(false); err == nil {
+		t.Fatal("replaying a lossy trace must fail")
+	} else {
+		var terr *TraceError
+		if !errors.As(err, &terr) || terr.Reason != TraceLossy {
+			t.Errorf("want *TraceError{TraceLossy}, got %v", err)
+		}
+	}
+}
+
+// validTrace builds a small complete artifact for corruption tests.
+func validTrace(t testing.TB) []byte {
+	t.Helper()
+	initial := testState()
+	tasks := testTasks(8)
+	r := New(testMeta(len(tasks)), initial, Options{})
+	recordRun(t, r, initial, tasks, false)
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCorruptTraceRejection(t *testing.T) {
+	base := validTrace(t)
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		reason TraceReason
+	}{
+		{"empty", func(b []byte) []byte { return nil }, TraceBadMagic},
+		{"bad-magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, TraceBadMagic},
+		{"future-format", func(b []byte) []byte { b[8] = traceFormat + 1; return b }, TraceBadFormat},
+		{"flipped-header-byte", func(b []byte) []byte { b[16] ^= 0x01; return b }, TraceBadChecksum},
+		{"flipped-tail-byte", func(b []byte) []byte { b[len(b)-6] ^= 0x01; return b }, TraceBadChecksum},
+		{"truncated-mid-file", func(b []byte) []byte { return b[:len(b)*2/3] }, TraceTruncated},
+		{"footer-stripped", func(b []byte) []byte { return b[:len(b)-8] }, TraceTruncated},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mutated := c.mutate(append([]byte(nil), base...))
+			_, err := ReadTrace(bytes.NewReader(mutated))
+			if err == nil {
+				t.Fatal("corrupt trace accepted")
+			}
+			var terr *TraceError
+			if !errors.As(err, &terr) {
+				t.Fatalf("want *TraceError, got %T: %v", err, err)
+			}
+			if terr.Reason != c.reason {
+				t.Errorf("reason = %s, want %s (err: %v)", terr.Reason, c.reason, err)
+			}
+		})
+	}
+}
+
+func TestWriteFileAtomicDump(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.bin")
+	initial := testState()
+	tasks := testTasks(10)
+	r := New(testMeta(len(tasks)), initial, Options{})
+	recordRun(t, r, initial, tasks, false)
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := ReadTrace(f)
+	if err != nil {
+		t.Fatalf("ReadTrace on WriteFile artifact: %v", err)
+	}
+	if len(tr.Txns) != len(tasks) {
+		t.Errorf("file dump retained %d txns, want %d", len(tr.Txns), len(tasks))
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("dump left %d directory entries, want 1", len(entries))
+	}
+}
+
+func TestRecorderClosedDropsLateCommits(t *testing.T) {
+	initial := testState()
+	r := New(testMeta(0), initial, Options{})
+	r.Close(initial)
+	r.ObserveCommitted(0, 1, oplog.Log{&oplog.Event{Op: adt.NumAddOp{L: "counter", Delta: 1}}})
+	if st := r.Stats(); st.Commits != 0 {
+		t.Errorf("closed recorder accepted a commit: %+v", st)
+	}
+}

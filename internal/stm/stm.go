@@ -140,6 +140,18 @@ type Governor interface {
 	ObserveEscalation()
 }
 
+// CommitSink receives every committed transaction's operation log — the
+// record half of record/replay (see internal/rec). ObserveCommitted runs
+// after the commit published, outside the runtime's write lock for
+// optimistic commits (serial escalations call it with the lock held);
+// commitTime values are unique and the logs replayed in commitTime order
+// over the initial state reconstruct the final state (serializability).
+// The log is the transaction's live slice: implementations must not
+// retain it past the call. A nil sink costs one branch per commit.
+type CommitSink interface {
+	ObserveCommitted(task int, commitTime int64, log oplog.Log)
+}
+
 // Config parameterizes a Runtime.
 type Config struct {
 	// Threads is the worker count; 0 means GOMAXPROCS.
@@ -192,33 +204,38 @@ type Config struct {
 	// the log without bound. A task that propagates the error (the normal
 	// contract) fails the run with it. 0 means unlimited.
 	MaxTxnOps int
+	// Record receives each committed transaction's op log (see
+	// CommitSink); nil disables recording at the cost of one branch.
+	Record CommitSink
 }
 
-// Stats reports a run's behavior.
+// Stats reports a run's behavior. The JSON tags are the RunReport schema
+// (internal/bench); every field must carry one so new counters cannot
+// silently drop out of `-json` output (asserted by a schema test).
 type Stats struct {
-	Tasks     int
-	Commits   int64
-	Retries   int64 // aborted execution attempts
-	Conflicts int64 // conflict detections that failed
-	Reclaimed int64 // history entries reclaimed
-	MaxHist   int64 // peak committed-history length
+	Tasks     int   `json:"tasks"`
+	Commits   int64 `json:"commits"`
+	Retries   int64 `json:"retries"`   // aborted execution attempts
+	Conflicts int64 `json:"conflicts"` // conflict detections that failed
+	Reclaimed int64 `json:"reclaimed"` // history entries reclaimed
+	MaxHist   int64 `json:"max_hist"`  // peak committed-history length
 	// BackoffWaits counts backoff sleeps taken between retry attempts.
-	BackoffWaits int64
+	BackoffWaits int64 `json:"backoff_waits"`
 	// Escalations counts transactions that ran in irrevocable serial
 	// mode after SerializeAfter consecutive aborts.
-	Escalations int64
+	Escalations int64 `json:"escalations"`
 	// CommitStalls counts commits that hit the MaxHistory bound and
 	// waited for reclamation to make room.
-	CommitStalls int64
+	CommitStalls int64 `json:"commit_stalls"`
 	// ValidationsSkipped counts committed-history entries the incremental
 	// detect/commit loop did NOT re-validate because a previous pass of
 	// the same attempt had already cleared them (committed logs are
 	// immutable, so per-entry verdicts are final): the rework the
 	// pre-watermark loop would have paid after every lost commit race.
-	ValidationsSkipped int64
+	ValidationsSkipped int64 `json:"validations_skipped"`
 	// AbortReasons breaks Conflicts down by the detector check that
 	// failed (reason name → count); nil when no conflicts occurred.
-	AbortReasons map[string]int64
+	AbortReasons map[string]int64 `json:"abort_reasons,omitempty"`
 }
 
 // RetryRatio returns the Figure 10 metric: retries per transaction.
@@ -734,10 +751,14 @@ func (r *Runtime) attempt(ctx obs.Ctx, task adt.Task, tid int) (committed bool, 
 			h.WindowDelay(tid)
 		}
 		commitStart := ctx.Now()
-		switch r.commit(tx, prep, now) {
+		res, ctime := r.commit(tx, prep, now)
+		switch res {
 		case commitOK:
 			published = true
 			ctx.End(obs.EvTxCommit, commitStart)
+			if sink := r.cfg.Record; sink != nil {
+				sink.ObserveCommitted(tid, ctime, tx.log)
+			}
 			return true, nil
 		case commitStall:
 			// The history bound, not a conflict: wait for reclamation to
@@ -909,25 +930,26 @@ const (
 // history has not evolved since detection, advance the clock, and replay
 // the log onto the shared state. Under Config.MaxHistory a commit that
 // would overflow the bound returns commitStall — before mutating any
-// shared state — and the caller waits for reclamation to make room.
-func (r *Runtime) commit(tx *Tx, prep *conflict.Prepared, tcheck int64) commitResult {
+// shared state — and the caller waits for reclamation to make room. On
+// commitOK the second result is the clock value the commit published
+// (for the CommitSink); it is meaningless otherwise.
+func (r *Runtime) commit(tx *Tx, prep *conflict.Prepared, tcheck int64) (commitResult, int64) {
 	r.lock.Lock()
 	defer r.lock.Unlock()
 	if r.clock.Load() != tcheck {
-		return commitRace
+		return commitRace, 0
 	}
 	if h := r.cfg.Hooks; h != nil && h.CommitDelay != nil {
 		h.CommitDelay(tx.tid)
 	}
 	if r.cfg.MaxHistory > 0 && !r.historyRoomLocked() {
-		return commitStall
+		return commitStall, 0
 	}
 	if err := r.replayLocked(tx.log); err != nil {
 		r.fail(err)
-		return commitRace
+		return commitRace, 0
 	}
-	r.publishLocked(tx.tid, prep)
-	return commitOK
+	return commitOK, r.publishLocked(tx.tid, prep)
 }
 
 // historyRoomLocked reports whether the committed history can accept one
@@ -973,10 +995,11 @@ func (r *Runtime) replayLocked(log oplog.Log) error {
 
 // publishLocked advances the clock, appends the committed log's prepared
 // artifact to the history, reclaims if configured, and wakes ordered-mode
-// waiters. Caller holds the write lock. The artifact was prepared by the
+// waiters, returning the new clock value (the entry's commit time).
+// Caller holds the write lock. The artifact was prepared by the
 // committing attempt (its own validation reused it), so publication costs
 // no additional preparation work.
-func (r *Runtime) publishLocked(tid int, prep *conflict.Prepared) {
+func (r *Runtime) publishLocked(tid int, prep *conflict.Prepared) int64 {
 	newClock := r.clock.Add(1)
 	r.histMu.Lock()
 	r.history = append(r.history, histEntry{commitTime: newClock, task: tid, prep: prep})
@@ -988,6 +1011,7 @@ func (r *Runtime) publishLocked(tid int, prep *conflict.Prepared) {
 	}
 	r.commitCond.Broadcast()
 	r.histMu.Unlock()
+	return newClock
 }
 
 // attemptSerial escalates a starving transaction to irrevocable serial
@@ -1077,7 +1101,10 @@ func (r *Runtime) attemptSerial(ctx obs.Ctx, task adt.Task, tid int) (committed 
 	// A serial transaction never validated, so its log has no artifact
 	// yet; prepare it here (under the write lock, once) for the detectors
 	// of every future transaction that finds it in the history.
-	r.publishLocked(tid, conflict.Prepare(tx.log))
+	ctime := r.publishLocked(tid, conflict.Prepare(tx.log))
+	if sink := r.cfg.Record; sink != nil {
+		sink.ObserveCommitted(tid, ctime, tx.log)
+	}
 	ctx.End(obs.EvTxSerial, serialStart)
 	return true, nil
 }

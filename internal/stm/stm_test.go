@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -535,5 +537,116 @@ func TestPreparedSharingMatrix(t *testing.T) {
 					priv, len(v.(state.IntList)), len(wantLog.(state.IntList)))
 			}
 		}
+	}
+}
+
+// commitCollector is a CommitSink that snapshots every delivery: task id,
+// commit time, and a deep copy of the log (the contract forbids retaining
+// the live slice).
+type commitCollector struct {
+	mu      sync.Mutex
+	commits []collectedCommit
+}
+
+type collectedCommit struct {
+	task  int
+	ctime int64
+	log   oplog.Log
+}
+
+func (c *commitCollector) ObserveCommitted(task int, commitTime int64, log oplog.Log) {
+	cp := make(oplog.Log, len(log))
+	copy(cp, log)
+	c.mu.Lock()
+	c.commits = append(c.commits, collectedCommit{task: task, ctime: commitTime, log: cp})
+	c.mu.Unlock()
+}
+
+// TestCommitSinkReceivesCommits pins the CommitSink contract: one
+// delivery per commit, unique commit times, and the delivered logs —
+// replayed in commit-time order over the initial state — reconstruct the
+// run's final state exactly.
+func TestCommitSinkReceivesCommits(t *testing.T) {
+	for _, ordered := range []bool{false, true} {
+		name := "unordered"
+		if ordered {
+			name = "ordered"
+		}
+		t.Run(name, func(t *testing.T) {
+			var tasks []adt.Task
+			for i := int64(1); i <= 16; i++ {
+				tasks = append(tasks, addTask(i), appendTask(i))
+			}
+			sink := &commitCollector{}
+			final, stats, err := Run(Config{
+				Threads: 4, Ordered: ordered, Record: sink,
+			}, initialState(), tasks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(len(sink.commits)) != stats.Commits {
+				t.Fatalf("sink saw %d commits, stats say %d", len(sink.commits), stats.Commits)
+			}
+			sort.Slice(sink.commits, func(i, j int) bool {
+				return sink.commits[i].ctime < sink.commits[j].ctime
+			})
+			replayed := initialState()
+			for i, c := range sink.commits {
+				if i > 0 && c.ctime == sink.commits[i-1].ctime {
+					t.Fatalf("duplicate commit time %d", c.ctime)
+				}
+				if c.task < 1 || c.task > len(tasks) {
+					t.Fatalf("commit %d carries task id %d (want 1..%d)", i, c.task, len(tasks))
+				}
+				if ordered && c.task != i+1 {
+					t.Fatalf("ordered run: commit %d from task %d", i, c.task)
+				}
+				if err := c.log.Replay(replayed); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !replayed.Equal(final) {
+				t.Fatalf("sink logs replayed in commit order drifted:\n got %s\nwant %s",
+					replayed, final)
+			}
+		})
+	}
+}
+
+// TestDisabledRecordingAddsNoAllocs pins the record-capture contract from
+// the runtime's side, mirroring TestDisabledTracingAddsNoAllocs: the
+// nil-sink guard attempt() runs at every commit costs zero extra
+// allocations when no CommitSink is configured.
+func TestDisabledRecordingAddsNoAllocs(t *testing.T) {
+	st := state.New()
+	st.Set("work", state.Int(0))
+	op := adt.NumAddOp{L: "work", Delta: 1}
+	newTx := func() *Tx {
+		return &Tx{priv: st.Clone(), snap: st.Clone(), log: make(oplog.Log, 0, 4)}
+	}
+
+	txBase := newTx()
+	base := testing.AllocsPerRun(500, func() {
+		txBase.log = txBase.log[:0]
+		if _, err := txBase.Exec(op); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	var cfg Config // Record is nil — the disabled configuration
+	txRec := newTx()
+	guarded := testing.AllocsPerRun(500, func() {
+		txRec.log = txRec.log[:0]
+		if _, err := txRec.Exec(op); err != nil {
+			t.Fatal(err)
+		}
+		if sink := cfg.Record; sink != nil {
+			sink.ObserveCommitted(1, 1, txRec.log)
+		}
+	})
+
+	if guarded != base {
+		t.Fatalf("disabled recording changed hot-path allocations: base=%.1f, guarded=%.1f",
+			base, guarded)
 	}
 }
