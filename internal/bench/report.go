@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -155,6 +157,8 @@ func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, trace
 	}
 	var recorder *rec.Recorder
 	var sink stm.CommitSink
+	var flightWG sync.WaitGroup
+	var flightDumping atomic.Bool
 	flightDumped := false
 	if o.RecordPath != "" {
 		recorder = rec.New(rec.Meta{
@@ -180,13 +184,23 @@ func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, trace
 		if recorder != nil && o.FlightChunks > 0 {
 			// The flight-recorder incident hook: a demotion or trip dumps
 			// whatever the chunk ring holds. Restores don't — the artifact
-			// of interest is the state at the incident.
+			// of interest is the state at the incident. The hook runs under
+			// the governor's transition lock and must return promptly, so
+			// the disk dump happens on a single-flight goroutine; a repeat
+			// incident while a dump is in progress is skipped (the recorder
+			// snapshot is taken at write time either way).
 			hc.OnTransition = func(from, to health.State, detail string) {
-				if to > from {
+				if to <= from || !flightDumping.CompareAndSwap(false, true) {
+					return
+				}
+				flightWG.Add(1)
+				go func() {
+					defer flightWG.Done()
+					defer flightDumping.Store(false)
 					if err := recorder.WriteFile(o.RecordPath); err == nil {
 						flightDumped = true
 					}
-				}
+				}()
 			}
 		}
 		gov = health.NewGovernor(d, nil, hc)
@@ -234,6 +248,9 @@ func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, trace
 		rep.Trace = tracer.Vars()
 	}
 	if recorder != nil {
+		// An async incident dump may still be in flight; wait so the
+		// stream-dump fallback below sees the definitive flightDumped.
+		flightWG.Wait()
 		// Seal the capture with the run's final state (nil on failure:
 		// the dump then reports no final digest rather than a wrong one).
 		recorder.Close(final)

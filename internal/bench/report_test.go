@@ -213,7 +213,7 @@ func TestProfileRunFlightDump(t *testing.T) {
 	}
 	path := filepath.Join(t.TempDir(), "incident.trace")
 	opts := Opts{
-		Size:       workloads.Small,
+		Size:         workloads.Small,
 		ChaosSeed:    42,
 		Govern:       true,
 		GovernWindow: 4,

@@ -293,6 +293,12 @@ func (d *dec) rel() state.Value {
 	if d.err != nil {
 		return nil
 	}
+	// relation.New panics on invariant violations (it guards programmer
+	// error); a CRC-valid but corrupted trace must surface a typed error
+	// instead, so vet the decoded schema first.
+	if !d.validRelSchema(cols, fd) {
+		return nil
+	}
 	r := relation.New(cols, fd)
 	ntup := d.u()
 	if ntup > uint64(len(d.buf)-d.pos) {
@@ -315,6 +321,36 @@ func (d *dec) rel() state.Value {
 		}
 	}
 	return state.Rel{R: r}
+}
+
+// validRelSchema checks the invariants relation.New enforces by panic:
+// distinct column names and, when an FD is present, that its domain and
+// range exactly partition the columns. Violations latch TraceBadRecord.
+func (d *dec) validRelSchema(cols []string, fd *relation.FD) bool {
+	sorted := append([]string(nil), cols...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			d.fail(TraceBadRecord, "relation has duplicate column %q", sorted[i])
+			return false
+		}
+	}
+	if fd == nil {
+		return true
+	}
+	all := append(append([]string(nil), fd.Domain...), fd.Range...)
+	sort.Strings(all)
+	if len(all) != len(sorted) {
+		d.fail(TraceBadRecord, "relation FD covers %d columns, relation has %d", len(all), len(sorted))
+		return false
+	}
+	for i := range all {
+		if all[i] != sorted[i] {
+			d.fail(TraceBadRecord, "relation FD domain+range does not partition columns")
+			return false
+		}
+	}
+	return true
 }
 
 func (d *dec) op() oplog.Op {
@@ -490,7 +526,15 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	return decodeTrace(raw)
 }
 
-func decodeTrace(raw []byte) (*Trace, error) {
+func decodeTrace(raw []byte) (t *Trace, err error) {
+	// Backstop for the never-panic contract: malformed-but-CRC-valid input
+	// paths are vetted explicitly (see validRelSchema), but any invariant
+	// panic that slips through must still surface as a typed rejection.
+	defer func() {
+		if p := recover(); p != nil {
+			t, err = nil, traceErr(TraceBadRecord, "panic decoding trace: %v", p)
+		}
+	}()
 	if len(raw) < len(traceMagic)+2 {
 		return nil, traceErr(TraceBadMagic, "file of %d bytes is too short", len(raw))
 	}
@@ -510,7 +554,7 @@ func decodeTrace(raw []byte) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Trace{}
+	t = &Trace{}
 	hd := &dec{buf: header, inline: true}
 	t.Meta.Workload = hd.str()
 	t.Meta.Detector = hd.str()

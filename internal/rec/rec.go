@@ -88,8 +88,8 @@ type Recorder struct {
 	epoch   time.Time
 
 	mu          sync.Mutex
-	cur         *enc   // open chunk body
-	curRecords  int    // records in cur
+	cur         *enc     // open chunk body
+	curRecords  int      // records in cur
 	sealed      [][]byte // completed chunk frames, oldest first
 	sealedBytes int64
 	evicted     int
@@ -203,6 +203,10 @@ func (r *Recorder) maybeSealLocked() {
 	if r.opts.FlightChunks > 0 {
 		for len(r.sealed) > r.opts.FlightChunks {
 			r.sealedBytes -= int64(len(r.sealed[0]))
+			// Clear the head before reslicing: the backing array would
+			// otherwise keep the evicted frame reachable, letting flight
+			// mode transiently hold ~double its configured memory bound.
+			r.sealed[0] = nil
 			r.sealed = r.sealed[1:]
 			r.evicted++
 		}
@@ -305,8 +309,10 @@ func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
 	}
 	out = append(out, footerFrame(r.commits, r.events, truncated, r.lossy, kind, digest, r.evicted, r.lossyDetail)...)
 
-	r.dumps++
 	n, err := w.Write(out)
+	if err == nil {
+		r.dumps++ // only successful dumps count as produced artifacts
+	}
 	return int64(n), err
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/adt"
 	"repro/internal/oplog"
+	"repro/internal/relation"
 	"repro/internal/state"
 	"repro/internal/stm"
 )
@@ -283,6 +284,114 @@ func validTrace(t testing.TB) []byte {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// craftRelTrace hand-builds a CRC-valid trace whose header snapshot holds
+// one relation value with the given schema, bypassing the encoder's
+// invariants — the shape of a crafted or corrupted-but-checksummed
+// artifact.
+func craftRelTrace(cols []string, fd *relation.FD) []byte {
+	e := newEnc(true)
+	e.str("crafted")   // workload
+	e.str("write-set") // detector
+	e.bool(false)      // ordered
+	e.byte(0)          // privatize
+	e.u(1)             // threads
+	e.u(0)             // tasks
+	e.i(0)             // seed
+	e.u(1)             // one location
+	e.str("r")
+	e.byte(valRel)
+	e.u(uint64(len(cols)))
+	for _, c := range cols {
+		e.str(c)
+	}
+	if fd == nil {
+		e.bool(false)
+	} else {
+		e.bool(true)
+		e.u(uint64(len(fd.Domain)))
+		for _, c := range fd.Domain {
+			e.str(c)
+		}
+		e.u(uint64(len(fd.Range)))
+		for _, c := range fd.Range {
+			e.str(c)
+		}
+	}
+	e.u(0) // no tuples
+	out := append([]byte(traceMagic), byte(traceFormat), 0)
+	out = appendFrame(out, e.buf)
+	return append(out, footerFrame(0, 0, false, false, DigestNone, 0, 0, "")...)
+}
+
+// TestCraftedRelationRejection pins the never-panic contract against
+// CRC-valid traces whose relation schema violates relation.New's
+// invariants: decoding must return TraceBadRecord, not panic.
+func TestCraftedRelationRejection(t *testing.T) {
+	cases := []struct {
+		name string
+		cols []string
+		fd   *relation.FD
+		ok   bool
+	}{
+		{"valid", []string{"k", "v"}, &relation.FD{Domain: []string{"k"}, Range: []string{"v"}}, true},
+		{"valid-no-fd", []string{"k", "v"}, nil, true},
+		{"fd-not-partition", []string{"a", "b"}, &relation.FD{Domain: []string{"a"}, Range: []string{"a"}}, false},
+		{"fd-extra-column", []string{"a"}, &relation.FD{Domain: []string{"a"}, Range: []string{"b"}}, false},
+		{"fd-missing-column", []string{"a", "b"}, &relation.FD{Domain: []string{"a"}, Range: nil}, false},
+		{"duplicate-columns", []string{"a", "a"}, &relation.FD{Domain: []string{"a"}, Range: []string{"a"}}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr, err := ReadTrace(bytes.NewReader(craftRelTrace(c.cols, c.fd)))
+			if c.ok {
+				if err != nil {
+					t.Fatalf("valid crafted trace rejected: %v", err)
+				}
+				if _, found := tr.Initial.Get("r"); !found {
+					t.Fatal("decoded trace lost the relation location")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("invalid relation schema accepted")
+			}
+			var terr *TraceError
+			if !errors.As(err, &terr) {
+				t.Fatalf("want *TraceError, got %T: %v", err, err)
+			}
+			if terr.Reason != TraceBadRecord {
+				t.Errorf("reason = %s, want %s (err: %v)", terr.Reason, TraceBadRecord, err)
+			}
+		})
+	}
+}
+
+// failWriter rejects every write, simulating a full disk.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+// TestFailedDumpNotCounted pins Stats.Dumps to artifacts actually
+// produced: a failed WriteTo must not bump the counter.
+func TestFailedDumpNotCounted(t *testing.T) {
+	initial := testState()
+	r := New(testMeta(4), initial, Options{})
+	recordRun(t, r, initial, testTasks(4), false)
+	if _, err := r.WriteTo(failWriter{}); err == nil {
+		t.Fatal("write to failing writer succeeded")
+	}
+	if got := r.Stats().Dumps; got != 0 {
+		t.Fatalf("Dumps = %d after failed dump, want 0", got)
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Dumps; got != 1 {
+		t.Fatalf("Dumps = %d after one successful dump, want 1", got)
+	}
 }
 
 func TestCorruptTraceRejection(t *testing.T) {
