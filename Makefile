@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench bench-contention bench-detect bench-governor chaos soak trace record-replay clean
+.PHONY: all vet build test race check bench bench-contention bench-detect bench-commit bench-governor chaos soak trace record-replay clean
 
 all: check
 
@@ -51,6 +51,16 @@ bench-detect:
 		./internal/conflict | tee bench-detect.txt
 	$(GO) run ./cmd/janus-benchjson -file BENCH_detect.json -label after < bench-detect.txt
 
+# Commit-path benchmark trajectory: the striped-commit throughput
+# benchmarks (disjoint-footprint workload; persistent, copy, and ordered
+# variants) folded into BENCH_commit.json under the "after" label. The
+# "before" entry preserves the single-global-lock baseline and is never
+# overwritten by this target. Informational, not gating.
+bench-commit:
+	$(GO) test -run '^$$' -bench 'BenchmarkCommitParallel' -benchmem -cpu 8 \
+		./internal/stm | tee bench-commit.txt
+	$(GO) run ./cmd/janus-benchjson -file BENCH_commit.json -label after < bench-commit.txt
+
 # Governed chaos bench: one fault-injected run per workload with the
 # health governor attached; the JSON report records governor_state,
 # demotions, and the full health snapshot. Used by the nightly workflow;
@@ -79,4 +89,4 @@ record-replay:
 		< record-overhead.txt
 
 clean:
-	rm -f out.json bench-contention.txt BENCH_governor.json janus.trace record-overhead.txt
+	rm -f out.json bench-contention.txt bench-commit.txt BENCH_governor.json janus.trace record-overhead.txt

@@ -80,6 +80,7 @@ func main() {
 		record   = flag.String("record", "", "capture each profiled run as a replayable binary op-trace at this path (replay with janus-replay)")
 		recFly   = flag.Int("record-flight", 0, "flight-recorder mode: keep only this many trace chunks in memory and dump them on a governor demotion/trip (requires -record and -govern; 0 = stream the whole run)")
 		recGzip  = flag.Bool("record-gzip", false, "gzip-compress trace chunks")
+		stripes  = flag.Int("commit-stripes", 0, "commit-path lock table size for profiled runs (0 = default; 1 = single global commit lock)")
 	)
 	flag.Parse()
 
@@ -88,6 +89,7 @@ func main() {
 		ChaosSeed: *chaosSd, SerializeAfter: *serAfter, BackoffBase: *backoff,
 		Govern: *govern, GovernWindow: *govWin,
 		RecordPath: *record, FlightChunks: *recFly, RecordGzip: *recGzip,
+		CommitStripes: *stripes,
 	}
 	if *recFly > 0 && *record == "" {
 		fatalf("-record-flight requires -record")
@@ -142,8 +144,8 @@ func main() {
 		profile(out, opts, *traceOut, *jsonOut, *detName)
 		return
 	}
-	if *chaosSd != 0 || *serAfter != 0 || *backoff != 0 || *govern || *govWin != 0 || *record != "" {
-		fatalf("-chaos/-serialize-after/-backoff/-govern/-record apply to profiled wall-clock runs; add -json or -trace")
+	if *chaosSd != 0 || *serAfter != 0 || *backoff != 0 || *govern || *govWin != 0 || *record != "" || *stripes != 0 {
+		fatalf("-chaos/-serialize-after/-backoff/-govern/-record/-commit-stripes apply to profiled wall-clock runs; add -json or -trace")
 	}
 	wantFig := func(n int) bool { return *figure == 0 && *table == 0 || *figure == n }
 	wantTab := func(n int) bool { return *figure == 0 && *table == 0 || *table == n }

@@ -115,6 +115,10 @@ type Opts struct {
 	FlightChunks int
 	// RecordGzip compresses trace chunks.
 	RecordGzip bool
+	// CommitStripes overrides the runtime's commit-path lock table size
+	// in profiled runs (0 = stm.DefaultCommitStripes; 1 = the paper's
+	// single global commit lock, for baseline comparisons).
+	CommitStripes int
 }
 
 func (o Opts) defaults() Opts {

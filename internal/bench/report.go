@@ -42,6 +42,9 @@ type RunReport struct {
 	// the run used (omitted when disabled).
 	SerializeAfter int   `json:"serialize_after,omitempty"`
 	BackoffBaseNs  int64 `json:"backoff_base_ns,omitempty"`
+	// CommitStripes echoes the commit-path lock table override the run
+	// used (omitted when the stm default applied).
+	CommitStripes int `json:"commit_stripes,omitempty"`
 	// ChaosSeed and Chaos report fault injection: the seed the injector
 	// ran with and the faults it actually delivered. Omitted when the run
 	// was not chaos-enabled.
@@ -110,6 +113,7 @@ func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, trace
 		Tasks:          len(tasks),
 		SerializeAfter: o.SerializeAfter,
 		BackoffBaseNs:  int64(o.BackoffBase),
+		CommitStripes:  o.CommitStripes,
 		ChaosSeed:      o.ChaosSeed,
 	}
 	fail := func(err error) (RunReport, error) {
@@ -220,6 +224,7 @@ func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, trace
 		Hooks:          hooks,
 		Governor:       stmGov,
 		Record:         sink,
+		CommitStripes:  o.CommitStripes,
 	}, w.NewState(), tasks)
 	rep.ElapsedNs = int64(time.Since(start))
 	rep.Run = stats

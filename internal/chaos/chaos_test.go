@@ -304,3 +304,54 @@ func TestChaosAbortBoundRespected(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosStripeSweepSerializability re-runs the serializability soak
+// across commit-stripe table sizes: 1 degenerates the striped commit to
+// the paper's single lock, 3 forces heavy stripe sharing (five locations
+// over three stripes guarantees false collisions), and the default table
+// gives disjoint counters genuinely concurrent replays. Every cell must
+// still produce exactly the sequential oracle's final state under forced
+// aborts and stretched commit windows — stripe count is a throughput
+// knob, never a correctness one.
+func TestChaosStripeSweepSerializability(t *testing.T) {
+	const nTasks = 30
+	for _, stripes := range []int{1, 3, stm.DefaultCommitStripes} {
+		for seed := int64(1); seed <= int64(*seedCount); seed++ {
+			for _, ordered := range []bool{false, true} {
+				for _, priv := range []stm.Privatize{stm.PrivatizeCopy, stm.PrivatizePersistent} {
+					tasks := soakTasks(seed, nTasks, ordered)
+					want, err := stm.RunSequential(soakState(), tasks)
+					if err != nil {
+						t.Fatal(err)
+					}
+					inj := New(Config{
+						Seed:      seed,
+						AbortProb: 0.35, AbortMaxPerTask: 3,
+						DelayProb: 0.25, MaxDelay: 200 * time.Microsecond,
+					})
+					cfg := stm.Config{
+						Threads: 4, Ordered: ordered, Privatize: priv,
+						Hooks: inj.Hooks(), MaxRetries: 500,
+						CommitStripes: stripes,
+					}
+					if seed%2 == 0 {
+						cfg.Backoff = stm.Backoff{Base: 20 * time.Microsecond}
+						cfg.SerializeAfter = 4
+					}
+					got, stats, err := stm.Run(cfg, soakState(), tasks)
+					if err != nil {
+						t.Fatalf("stripes=%d seed=%d ordered=%v priv=%v: %v", stripes, seed, ordered, priv, err)
+					}
+					if !got.Equal(want) {
+						t.Fatalf("stripes=%d seed=%d ordered=%v priv=%v: chaos state %s != sequential %s (stats %+v)",
+							stripes, seed, ordered, priv, got, want, stats)
+					}
+					if stats.Commits != nTasks {
+						t.Fatalf("stripes=%d seed=%d ordered=%v priv=%v: commits = %d, want %d",
+							stripes, seed, ordered, priv, stats.Commits, nTasks)
+					}
+				}
+			}
+		}
+	}
+}

@@ -211,11 +211,24 @@ func (w *WriteSet) DetectV(_ obs.Ctx, _ *state.State, txn oplog.Log, committed [
 }
 
 // DetectPrepared implements Detector: both sides carry memoized access
-// modes, so no maps are rebuilt per call.
+// modes, so no maps are rebuilt per call. Committed entries whose
+// footprint signatures are write-disjoint from the transaction's are
+// skipped without touching either mode map — a write-set conflict needs
+// a shared location with a write on one side, which disjoint signatures
+// rule out (Prepared.Signatures has no false negatives) — so a run of
+// footprint-disjoint transactions never materializes the maps at all.
 func (w *WriteSet) DetectPrepared(_ obs.Ctx, _ *state.State, txn *Prepared, committed []*Prepared) Verdict {
 	atomic.AddInt64(&w.stats.Detections, 1)
-	mt := txn.accessModes()
+	ta, tw := txn.Signatures()
+	var mt map[oplog.PLoc]mode
 	for _, c := range committed {
+		ca, cw := c.Signatures()
+		if tw&ca == 0 && ta&cw == 0 {
+			continue
+		}
+		if mt == nil {
+			mt = txn.accessModes()
+		}
 		if p, q, hit := findWriteSetConflict(mt, c.accessModes(), nil); hit {
 			atomic.AddInt64(&w.stats.Conflicts, 1)
 			w.reasons.add(ReasonWriteSet)
@@ -430,11 +443,13 @@ func (s *Sequence) DetectV(ctx obs.Ctx, snapshot *state.State, txn oplog.Log, co
 // enabled) the symbolic shape pair.
 func (s *Sequence) DetectPrepared(ctx obs.Ctx, snapshot *state.State, txn *Prepared, committed []*Prepared) Verdict {
 	atomic.AddInt64(&s.stats.Detections, 1)
+	tlocs := txn.locations()
 	for _, c := range committed {
-		for i := range txn.locs {
-			lt := &txn.locs[i]
-			for j := range c.locs {
-				lc := &c.locs[j]
+		clocs := c.locations()
+		for i := range tlocs {
+			lt := &tlocs[i]
+			for j := range clocs {
+				lc := &clocs[j]
 				if !lt.p.Overlaps(lc.p) {
 					continue
 				}

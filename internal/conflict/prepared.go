@@ -19,6 +19,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/oplog"
 	"repro/internal/seqabs"
+	"repro/internal/state"
 )
 
 // Prepared is one transaction log with its detection-side projections
@@ -28,12 +29,20 @@ import (
 // mode maps are guarded by sync.Once), so a single value is safely shared
 // by any number of concurrent DetectPrepared calls.
 type Prepared struct {
-	log  oplog.Log
-	locs []preparedLoc
+	log oplog.Log
 
-	// dec and symArena are the artifact's backing buffers. They are owned
-	// exclusively while preparing and recycled through preparedPool for
-	// unpublished attempts; a published Prepared keeps them forever.
+	// locs memoizes the per-location decomposition with its symbolic
+	// shapes. Only the sequence detector consumes it — the write-set
+	// detector compares whole-log access modes — so it is computed on
+	// first use (locations), not at Prepare: a run under write-set
+	// detection never pays for decomposition at all.
+	locsOnce sync.Once
+	locs     []preparedLoc
+
+	// dec and symArena are the decomposition's backing buffers. They are
+	// owned exclusively while materializing and recycled through
+	// preparedPool for unpublished attempts; a published Prepared keeps
+	// them forever.
 	dec      oplog.Decomposer
 	symArena []oplog.Sym
 
@@ -41,6 +50,107 @@ type Prepared struct {
 	// compares; computed on first use, then read-only.
 	modesOnce sync.Once
 	modes     map[oplog.PLoc]mode
+
+	// foot memoizes the log's location footprint (Footprint); the stm's
+	// striped commit path reads it on every commit attempt. sigAll and
+	// sigWrite are the footprint folded into 64-bit overlap signatures
+	// (Signatures), computed alongside it.
+	footOnce sync.Once
+	foot     []FootprintLoc
+	sigAll   uint64
+	sigWrite uint64
+}
+
+// FootprintLoc is one distinct shared location a prepared log accesses,
+// with the log's aggregate access mode for it and a precomputed FNV-1a
+// hash. The footprint is the commit-concurrency interface: two logs whose
+// footprints are disjoint commute trivially (no operation of one can
+// observe or disturb the other), which is what lets the stm replay their
+// commits concurrently under per-location stripe locks. Hashes are
+// precomputed so stripe mapping and overlap signatures never re-hash
+// location strings on the commit path.
+type FootprintLoc struct {
+	Loc   state.Loc
+	Hash  uint64
+	Write bool
+}
+
+// footprintScanBound is the distinct-location count under which
+// Footprint deduplicates by linear scan; larger footprints build an
+// index map (the same trade the oplog.Decomposer makes).
+const footprintScanBound = 64
+
+// Footprint returns the log's distinct accessed locations in first-access
+// order, each with its aggregate write flag and location hash, computed
+// on first use and shared read-only thereafter. Projection locations
+// collapse to their underlying state location ("rel#k" and "rel#*" both
+// contribute "rel"), so wildcard extents and per-key accesses of one
+// relation land on the same footprint entry.
+func (p *Prepared) Footprint() []FootprintLoc {
+	p.footOnce.Do(func() {
+		var idx map[state.Loc]int
+		for _, e := range p.log {
+			for _, a := range e.Acc {
+				loc := a.P.Loc()
+				j := -1
+				if idx != nil {
+					if k, ok := idx[loc]; ok {
+						j = k
+					}
+				} else {
+					for k := range p.foot {
+						if p.foot[k].Loc == loc {
+							j = k
+							break
+						}
+					}
+				}
+				if j >= 0 {
+					p.foot[j].Write = p.foot[j].Write || a.Write
+					continue
+				}
+				p.foot = append(p.foot, FootprintLoc{Loc: loc, Hash: fnv64a(string(loc)), Write: a.Write})
+				if idx == nil && len(p.foot) > footprintScanBound {
+					idx = make(map[state.Loc]int, 2*len(p.foot))
+					for k := range p.foot {
+						idx[p.foot[k].Loc] = k
+					}
+				} else if idx != nil {
+					idx[loc] = len(p.foot) - 1
+				}
+			}
+		}
+		for i := range p.foot {
+			bit := uint64(1) << (p.foot[i].Hash % 64)
+			p.sigAll |= bit
+			if p.foot[i].Write {
+				p.sigWrite |= bit
+			}
+		}
+	})
+	return p.foot
+}
+
+// Signatures returns the footprint folded into 64-bit overlap
+// signatures: one bit per location hash, over all accessed locations and
+// over written locations. Two logs can only share a location — and
+// therefore can only conflict under any sound detector — if
+// (A.sigWrite & B.sigAll) | (A.sigAll & B.sigWrite) is non-zero: equal
+// locations set equal bits, so the test has no false negatives, and a
+// collision merely costs a precise check.
+func (p *Prepared) Signatures() (sigAll, sigWrite uint64) {
+	p.Footprint()
+	return p.sigAll, p.sigWrite
+}
+
+// fnv64a is the 64-bit FNV-1a string hash.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // preparedLoc is one per-projection-location subsequence with its
@@ -82,11 +192,12 @@ func (pl *preparedLoc) seqKey(c *cache.Cache) (key []byte, ok bool) {
 	return pl.key, true
 }
 
-// Prepare computes a log's detection artifact. The per-location symbolic
-// shapes are materialized eagerly into a single shared arena (they are
-// needed on every cache lookup); the write-set mode maps are deferred to
-// first use, because a trained cache answers most runs without ever
-// falling back.
+// Prepare computes a log's detection artifact. All projections are
+// deferred to first use behind sync.Once memos: the decomposition and
+// symbolic shapes materialize when a sequence detector first asks for
+// them (locations), the write-set mode maps when a detection falls back
+// to them, the footprint when the commit path plans its stripes — so
+// each run pays only for the projections its configuration consumes.
 func Prepare(l oplog.Log) *Prepared {
 	return prepareInto(new(Prepared), l)
 }
@@ -119,21 +230,39 @@ func (p *Prepared) Recycle() {
 		p.locs[i] = preparedLoc{}
 	}
 	p.locs = p.locs[:0]
+	p.locsOnce = sync.Once{}
 	p.log = nil
 	p.modesOnce = sync.Once{}
 	p.modes = nil
+	p.footOnce = sync.Once{}
+	clear(p.foot)
+	p.foot = p.foot[:0]
+	p.sigAll, p.sigWrite = 0, 0
 	preparedPool.Put(p)
 }
 
-// prepareInto builds the artifact in place. p is either freshly allocated
-// or recycled (all lazy state zeroed by Recycle), never a live shared
-// value.
+// prepareInto binds the artifact to its log. p is either freshly
+// allocated or recycled (all lazy state zeroed by Recycle), never a live
+// shared value. Every projection is lazy; nothing else is computed here.
 func prepareInto(p *Prepared, l oplog.Log) *Prepared {
 	p.log = l
-	decomp := p.dec.Decompose(l)
+	return p
+}
+
+// locations returns the per-location decomposition, materializing it on
+// first use and sharing it read-only thereafter (safe for concurrent
+// detectors via the sync.Once). The buffers behind it (dec, symArena)
+// belong to the artifact and recycle with it.
+func (p *Prepared) locations() []preparedLoc {
+	p.locsOnce.Do(p.materializeLocs)
+	return p.locs
+}
+
+func (p *Prepared) materializeLocs() {
+	decomp := p.dec.Decompose(p.log)
 	if len(decomp) == 0 {
 		p.locs = p.locs[:0]
-		return p
+		return
 	}
 	total := 0
 	for i := range decomp {
@@ -159,7 +288,6 @@ func prepareInto(p *Prepared, l oplog.Log) *Prepared {
 		}
 		p.locs[i] = preparedLoc{p: d.P, seq: d.Seq, syms: syms, wildcard: d.P.IsWildcard()}
 	}
-	return p
 }
 
 // PrepareAll prepares each log (a convenience for the DetectV shims and
@@ -182,7 +310,7 @@ func (p *Prepared) Log() oplog.Log { return p.log }
 func (p *Prepared) Ops() int { return len(p.log) }
 
 // NumLocs returns the number of projection locations the log touches.
-func (p *Prepared) NumLocs() int { return len(p.locs) }
+func (p *Prepared) NumLocs() int { return len(p.locations()) }
 
 // accessModes returns the whole-log write-set modes, computing them on
 // first use.

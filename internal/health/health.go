@@ -463,9 +463,13 @@ func (g *Governor) event(t obs.EventType, detail string) {
 // escalates every transaction to irrevocable serial execution.
 func (g *Governor) SerialOnly() bool { return g.State() == Tripped }
 
-// ObserveCommit records one committed transaction. While tripped, it
-// drains the serial-commit budget; once RecoverCommits commits land the
-// governor drops back to degraded and probing resumes.
+// ObserveCommit records one committed transaction. Under the striped
+// commit path footprint-disjoint transactions publish concurrently, so
+// calls arrive from many workers at once with no external ordering; the
+// atomic counter and the state re-check under g.mu keep the budget exact
+// regardless. While tripped, it drains the serial-commit budget; once
+// RecoverCommits commits land the governor drops back to degraded and
+// probing resumes.
 func (g *Governor) ObserveCommit() {
 	if g.State() != Tripped {
 		return

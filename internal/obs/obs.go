@@ -82,6 +82,14 @@ const (
 	// incompatible trained-spec artifact; the run degrades to write-set
 	// detection instead of failing. Detail carries the rejection error.
 	EvSpecRejected
+	// EvCommitStripe spans a commit's footprint-stripe acquisition: the
+	// wait to lock the sorted stripe set covering the transaction's
+	// locations. Only overlapping-footprint commits contend here.
+	EvCommitStripe
+	// EvCommitPipeline spans a ticketed commit's publication-turn wait:
+	// replay is done, the commit time is assigned, and the committer
+	// waits for every earlier commit time to finish publishing.
+	EvCommitPipeline
 
 	numEventTypes
 )
@@ -121,6 +129,10 @@ func (t EventType) String() string {
 		return "governor.restore"
 	case EvSpecRejected:
 		return "spec.rejected"
+	case EvCommitStripe:
+		return "commit.stripe"
+	case EvCommitPipeline:
+		return "commit.pipeline"
 	default:
 		return "none"
 	}

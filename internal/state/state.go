@@ -126,6 +126,11 @@ type State struct {
 // New returns an empty state.
 func New() *State { return &State{m: make(map[Loc]Value)} }
 
+// NewSized returns an empty state presized for n locations, for callers
+// that materialize a known location set (avoids rehash churn on bulk
+// builds like copy-mode privatization).
+func NewSized(n int) *State { return &State{m: make(map[Loc]Value, n)} }
+
 // NewFaulting returns a state that materializes unbound locations on
 // demand from fault, cloning the faulted value so later mutations never
 // reach the source. fault must return immutable snapshot values.

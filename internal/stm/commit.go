@@ -1,0 +1,367 @@
+// Footprint-disjoint parallel commit.
+//
+// The paper's Figure 7 protocol replays every commit under one global
+// write lock, so commit throughput is serial no matter how many cores
+// run detection. This file replaces that critical section with a striped
+// commit: a committer locks only the stripes covering its footprint
+// (read off conflict.Prepared, the PR-5 detection artifact), takes a
+// commit-time ticket, replays its log into a private overlay with no
+// global lock held, and then publishes — merges its written locations
+// into the committed version and appends its history entry — in strict
+// ticket order through a commit sequencer. Commits whose footprints are
+// disjoint never contend past the ticket increment; only
+// overlapping-footprint commits serialize, on exactly the stripes they
+// share.
+//
+// Why this preserves Figure 7's serializability invariant (the full
+// argument is DESIGN.md §11): a committer with all its stripes held
+// knows every concurrently ticketed commit is stripe-disjoint from it —
+// an overlapping one would have blocked on a shared stripe before
+// ticketing — and stripe-disjoint implies location-disjoint implies
+// commuting. History that published after its validation snapshot but
+// before its stripes were held is screened by a footprint-signature
+// check (no false negatives: equal locations set equal bits); any
+// overlap there aborts the commit back to re-detection. So the log
+// replays against exactly the state its detector validated it against,
+// up to commuting reorderings — the same guarantee the global lock
+// bought, without the convoy.
+package stm
+
+import (
+	"sync/atomic"
+
+	"repro/internal/conflict"
+	"repro/internal/obs"
+	"repro/internal/oplog"
+	"repro/internal/state"
+)
+
+// DefaultCommitStripes is the commit-stripe table size when
+// Config.CommitStripes is zero. 64 stripes keep the false-sharing rate
+// (distinct locations hashing to one stripe) negligible for the
+// footprint sizes the workloads exhibit while the table stays small
+// enough to sit in cache.
+const DefaultCommitStripes = 64
+
+// stripeRef is one resolved stripe of a transaction's footprint: the
+// table index and the lock mode (write side iff some location on the
+// stripe is written).
+type stripeRef struct {
+	idx   int32
+	write bool
+}
+
+// planStripes resolves the footprint into the transaction's sorted,
+// deduplicated stripe set and its overlap signatures. Sorting makes
+// multi-stripe acquisition deadlock-free (every committer locks in
+// ascending index order); deduplication merges two locations on one
+// stripe into a single acquisition in the stronger mode.
+func (t *Tx) planStripes(foot []conflict.FootprintLoc, nStripes int) {
+	if t.stripes == nil {
+		t.stripes = t.stripesBuf[:0]
+	}
+	t.stripes = t.stripes[:0]
+	t.sigAll, t.sigWrite = 0, 0
+	for _, f := range foot {
+		bit := uint64(1) << (f.Hash % 64)
+		t.sigAll |= bit
+		if f.Write {
+			t.sigWrite |= bit
+		}
+		idx := int32(f.Hash % uint64(nStripes))
+		pos := len(t.stripes)
+		for i := range t.stripes {
+			if t.stripes[i].idx >= idx {
+				pos = i
+				break
+			}
+		}
+		if pos < len(t.stripes) && t.stripes[pos].idx == idx {
+			t.stripes[pos].write = t.stripes[pos].write || f.Write
+			continue
+		}
+		t.stripes = append(t.stripes, stripeRef{})
+		copy(t.stripes[pos+1:], t.stripes[pos:])
+		t.stripes[pos] = stripeRef{idx: idx, write: f.Write}
+	}
+}
+
+// footprintSigs folds a footprint into its 64-bit overlap signatures:
+// one bit per location hash, over all accessed locations and over
+// written locations. Two footprints can only share a location if
+// (A.sigWrite & B.sigAll) | (A.sigAll & B.sigWrite) is non-zero — equal
+// locations hash to equal bits, so the test has no false negatives.
+func footprintSigs(foot []conflict.FootprintLoc) (sigAll, sigWrite uint64) {
+	for _, f := range foot {
+		bit := uint64(1) << (f.Hash % 64)
+		sigAll |= bit
+		if f.Write {
+			sigWrite |= bit
+		}
+	}
+	return sigAll, sigWrite
+}
+
+// lockStripes acquires the transaction's planned stripes in ascending
+// index order, write side for stripes carrying a written location.
+func (r *Runtime) lockStripes(t *Tx) {
+	for _, s := range t.stripes {
+		if s.write {
+			r.stripes[s.idx].Lock()
+		} else {
+			r.stripes[s.idx].RLock()
+		}
+	}
+}
+
+// unlockStripes releases the planned stripes.
+func (r *Runtime) unlockStripes(t *Tx) {
+	for i := len(t.stripes) - 1; i >= 0; i-- {
+		s := t.stripes[i]
+		if s.write {
+			r.stripes[s.idx].Unlock()
+		} else {
+			r.stripes[s.idx].RUnlock()
+		}
+	}
+}
+
+// waitPublished blocks until the sequencer's published watermark reaches
+// target or the run fails, reporting whether the watermark got there.
+// This is the O(1) order-maintenance query behind both the publication
+// turn and the ordered-mode commit turn: tickets are dense and publish
+// in order, so the watermark passes through every integer and each
+// waiter registers under exactly the value it needs — advancePublished
+// wakes it with a map lookup, not a broadcast over all waiters.
+func (r *Runtime) waitPublished(target int64) bool {
+	if r.published.Load() >= target {
+		return true
+	}
+	r.seqMu.Lock()
+	if r.published.Load() >= target {
+		r.seqMu.Unlock()
+		return true
+	}
+	ch := make(chan struct{})
+	r.seqWaiters[target] = append(r.seqWaiters[target], ch)
+	r.seqMu.Unlock()
+	select {
+	case <-ch:
+		return true
+	case <-r.done:
+		return r.published.Load() >= target
+	}
+}
+
+// advancePublished publishes watermark c — always exactly published+1,
+// because publication runs in dense ticket order — and wakes the waiters
+// registered for c.
+func (r *Runtime) advancePublished(c int64) {
+	r.seqMu.Lock()
+	r.published.Store(c)
+	chs := r.seqWaiters[c]
+	if chs != nil {
+		delete(r.seqWaiters, c)
+	}
+	r.seqMu.Unlock()
+	for _, ch := range chs {
+		close(ch)
+	}
+}
+
+// casMax raises *addr to v if v is greater. Commits publish
+// concurrently, so the former load-then-store max (safe only under the
+// global write lock) would lose updates.
+func casMax(addr *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(addr)
+		if v <= cur || atomic.CompareAndSwapInt64(addr, cur, v) {
+			return
+		}
+	}
+}
+
+// overlapsPublished reports whether any history entry in commit-time
+// window (after, upto] has a possible footprint overlap with the given
+// signatures. Entries in that window published after the caller's last
+// validated fetch, so an overlap means its verdicts may be stale; all
+// signatures disjoint means every such entry is location-disjoint from
+// the caller and needs no re-detection. The window is fully resident:
+// the caller's begin watermark equals after, which pins newer entries
+// against reclamation.
+func (r *Runtime) overlapsPublished(after, upto int64, sigAll, sigWrite uint64) bool {
+	r.histMu.Lock()
+	defer r.histMu.Unlock()
+	lo := searchHist(r.history, after)
+	for _, h := range r.history[lo:] {
+		if h.commitTime > upto {
+			break
+		}
+		if h.sigWrite&sigAll != 0 || h.sigAll&sigWrite != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// reserveHistorySlot claims one committed-history slot against
+// Config.MaxHistory before the commit tickets, forcing a reclamation
+// pass first if the bound is hit. Reservations (ticketed commits that
+// have not appended yet) count toward the bound, so concurrent commits
+// cannot overshoot it between check and append — Stats.MaxHist never
+// exceeds MaxHistory.
+func (r *Runtime) reserveHistorySlot() bool {
+	r.histMu.Lock()
+	defer r.histMu.Unlock()
+	if len(r.history)+r.histReserved >= r.cfg.MaxHistory {
+		r.reclaimLocked()
+	}
+	if len(r.history)+r.histReserved >= r.cfg.MaxHistory {
+		return false
+	}
+	r.histReserved++
+	return true
+}
+
+// replayCompute replays a validated log onto a private faulting overlay
+// of the committed store and returns the overlay; no shared state is
+// mutated. The caller must hold its footprint stripes (or the global
+// write lock): that guarantees no concurrent publication touches a
+// location the replay reads, so the overlay is identical to one
+// computed against the publication-turn store.
+func (r *Runtime) replayCompute(log oplog.Log) (*state.State, error) {
+	tmp := state.NewFaulting(r.storeGet)
+	if err := log.Replay(tmp); err != nil {
+		return nil, err
+	}
+	return tmp, nil
+}
+
+// mergeVersion publishes a replayed overlay's written locations into the
+// committed store — one atomic box store per location. Callers are
+// serialized (publication turn or global write lock), so overflow-map
+// growth for freshly created locations needs no CAS loop.
+func (r *Runtime) mergeVersion(tmp *state.State, foot []conflict.FootprintLoc) {
+	for _, f := range foot {
+		if !f.Write {
+			continue
+		}
+		if v, ok := tmp.Get(f.Loc); ok {
+			r.storeSet(f.Loc, v.CloneValue())
+		}
+	}
+}
+
+// publishEntry appends one committed transaction to the history,
+// releasing its MaxHistory reservation, tracking the peak length, and
+// reclaiming if configured. Publication order (the caller's sequencer
+// turn) keeps commit times strictly increasing in history order.
+func (r *Runtime) publishEntry(tid int, ctime int64, prep *conflict.Prepared, sigAll, sigWrite uint64, reserved bool) {
+	r.histMu.Lock()
+	r.history = append(r.history, histEntry{
+		commitTime: ctime, task: tid, prep: prep, sigAll: sigAll, sigWrite: sigWrite,
+	})
+	if reserved {
+		r.histReserved--
+	}
+	casMax(&r.stats.MaxHist, int64(len(r.history)))
+	if r.cfg.ReclaimLogs {
+		r.reclaimLocked()
+	}
+	r.histMu.Unlock()
+}
+
+// commit is COMMIT of Figure 7, striped. The committer locks its
+// footprint stripes (sorted; deadlock-free), screens the history that
+// published since its last validated fetch with the footprint-signature
+// test, takes a dense commit-time ticket, replays with no global lock
+// held, and publishes in ticket order through the sequencer. The global
+// lock is held on the read side only, so commits overlap each other and
+// exclude nothing but serial escalation. On any outcome but commitOK no
+// shared state was mutated.
+func (r *Runtime) commit(ctx obs.Ctx, tx *Tx, prep *conflict.Prepared, tcheck int64) commitResult {
+	tx.planStripes(prep.Footprint(), len(r.stripes))
+	r.lock.RLock()
+	defer r.lock.RUnlock()
+	stripeStart := ctx.Now()
+	r.lockStripes(tx)
+	defer r.unlockStripes(tx)
+	ctx.End(obs.EvCommitStripe, stripeStart)
+	// With the stripes held, every ticketed-but-unpublished commit is
+	// stripe-disjoint from this one (an overlapping one would still be
+	// blocked in lockStripes), so only already-published entries can
+	// invalidate the detector's verdicts. Screen the window that
+	// published after the last validated fetch; a possible overlap sends
+	// the attempt back to re-detection, exactly like the old lost clock
+	// race — except disjoint committers no longer pay it.
+	if p := r.published.Load(); p != tcheck && r.overlapsPublished(tcheck, p, tx.sigAll, tx.sigWrite) {
+		return commitRace
+	}
+	if h := r.cfg.Hooks; h != nil && h.CommitDelay != nil {
+		h.CommitDelay(tx.tid)
+	}
+	if r.failed() {
+		return commitFailed
+	}
+	reserved := false
+	if r.cfg.MaxHistory > 0 {
+		if !r.reserveHistorySlot() {
+			return commitStall
+		}
+		reserved = true
+	}
+	// Replay before ticketing: the ticket is the point of no return (a
+	// ticket that never publishes would wedge the sequencer), so every
+	// fallible step happens first. A replay error is terminal for the
+	// whole run — never a retry.
+	rep, err := r.replayCompute(tx.log)
+	if err != nil {
+		if reserved {
+			r.histMu.Lock()
+			r.histReserved--
+			r.histMu.Unlock()
+		}
+		r.fail(err)
+		return commitFailed
+	}
+	ctime := r.clock.Add(1)
+	pipeStart := ctx.Now()
+	if !r.waitPublished(ctime - 1) {
+		// Run failed before our turn could come up; nothing was merged
+		// and no successor is live to wait on the gap.
+		return commitFailed
+	}
+	ctx.End(obs.EvCommitPipeline, pipeStart)
+	r.mergeVersion(rep, prep.Footprint())
+	r.publishEntry(tx.tid, ctime, prep, tx.sigAll, tx.sigWrite, reserved)
+	if sink := r.cfg.Record; sink != nil {
+		// Inside the publication turn: sinks see commits in strictly
+		// increasing commitTime order across all workers.
+		sink.ObserveCommitted(tx.tid, ctime, tx.log)
+	}
+	r.advancePublished(ctime)
+	if r.cfg.MaxHistory > 0 {
+		// MaxHistory waiters (stalled commits, ordered drainers) park on
+		// commitCond; wake them after the watermark moved so their
+		// re-checks observe it.
+		r.histMu.Lock()
+		r.commitCond.Broadcast()
+		r.histMu.Unlock()
+	}
+	return commitOK
+}
+
+// searchHist returns the index of the first history entry with
+// commitTime > after (history is sorted by commitTime).
+func searchHist(h []histEntry, after int64) int {
+	lo, hi := 0, len(h)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h[mid].commitTime > after {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

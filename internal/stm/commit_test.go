@@ -1,0 +1,311 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/state"
+)
+
+// TestReplayErrorDoesNotRetry pins the doomed-retry fix: a replay
+// failure is terminal for the run, so the failing attempt must return
+// through commitFailed without ever re-entering the retry loop. Before
+// the fix the error was mapped to a lost commit race, so the attempt
+// burned a full retry (re-execution, re-validation, backoff) before the
+// worker noticed the run was dead.
+func TestReplayErrorDoesNotRetry(t *testing.T) {
+	st := state.New()
+	st.Set("boom", state.Int(0))
+	var fired int32
+	task := func(ex adt.Executor) error {
+		_, err := ex.Exec(explodingOp{fired: &fired})
+		return err
+	}
+	_, stats, err := Run(Config{Threads: 1}, st, []adt.Task{task})
+	if err == nil {
+		t.Fatal("run succeeded, want replay failure")
+	}
+	if got := stats.Retries; got != 0 {
+		t.Fatalf("Retries = %d after terminal replay error, want 0", got)
+	}
+	// One Apply in the task body, one in the replay that failed; a
+	// doomed retry would have re-executed the body for a third.
+	if got := atomic.LoadInt32(&fired); got != 2 {
+		t.Fatalf("op applied %d times, want 2 (exec + failed replay)", got)
+	}
+}
+
+// TestCommitStallCountsOnlyRealWaits pins the stall-accounting fix:
+// Stats.CommitStalls counts commits that actually parked on the history
+// bound, not ones whose entry reclamation pass freed room immediately.
+func TestCommitStallCountsOnlyRealWaits(t *testing.T) {
+	t.Run("ImmediateReclaimIsNotAStall", func(t *testing.T) {
+		r := New(Config{MaxHistory: 1}, state.New())
+		r.clock.Store(5)
+		r.published.Store(5)
+		// One stale entry, no active transaction pinning it: the entry
+		// reclamation pass frees the slot and the commit never waits.
+		r.history = []histEntry{{commitTime: 3}}
+		done := make(chan struct{})
+		go func() { r.stallForHistory(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("stallForHistory blocked with reclaimable history")
+		}
+		if got := atomic.LoadInt64(&r.stats.CommitStalls); got != 0 {
+			t.Fatalf("CommitStalls = %d for a stall that resolved without waiting, want 0", got)
+		}
+	})
+	t.Run("RealWaitCountsOnce", func(t *testing.T) {
+		r := New(Config{MaxHistory: 1}, state.New())
+		r.clock.Store(5)
+		r.published.Store(5)
+		r.history = []histEntry{{commitTime: 3}}
+		// An active transaction with begin 2 pins the entry; the stalling
+		// commit must park until the pin is dropped.
+		r.begins[9] = 2
+		released := make(chan struct{})
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			close(released)
+			r.dropBegin(9)
+		}()
+		r.stallForHistory()
+		select {
+		case <-released:
+		default:
+			t.Fatal("stallForHistory returned before the pinning transaction departed")
+		}
+		// Parked (possibly through several spurious wakeups), but one
+		// stalled commit is one stall.
+		if got := atomic.LoadInt64(&r.stats.CommitStalls); got != 1 {
+			t.Fatalf("CommitStalls = %d for one parked commit, want 1", got)
+		}
+	})
+}
+
+// commitGauge observes replay concurrency through the CommitDelay hook,
+// which runs with the committer's footprint stripes held: the peak
+// number of transactions inside the hook at once is the peak number of
+// commits whose replays could overlap.
+type commitGauge struct {
+	mu      sync.Mutex
+	cur     int
+	peak    int
+	entered chan struct{} // closed once two commits are inside at once
+}
+
+func newCommitGauge() *commitGauge {
+	return &commitGauge{entered: make(chan struct{})}
+}
+
+func (g *commitGauge) hook(int) {
+	g.mu.Lock()
+	g.cur++
+	if g.cur > g.peak {
+		g.peak = g.cur
+	}
+	if g.cur >= 2 {
+		select {
+		case <-g.entered:
+		default:
+			close(g.entered)
+		}
+	}
+	g.mu.Unlock()
+	time.Sleep(2 * time.Millisecond) // hold the stripes long enough to overlap
+	g.mu.Lock()
+	g.cur--
+	g.mu.Unlock()
+}
+
+func (g *commitGauge) max() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}
+
+// TestOverlappingCommitsNeverConcurrent drives many transactions that
+// all write one location and asserts no two of them were ever inside the
+// commit critical section together: same location means same stripe,
+// and the stripe's write side is exclusive. This is the serializability
+// half of the striped-commit contract.
+func TestOverlappingCommitsNeverConcurrent(t *testing.T) {
+	st := state.New()
+	st.Set("hot", state.Int(0))
+	g := newCommitGauge()
+	tasks := make([]adt.Task, 24)
+	for i := range tasks {
+		tasks[i] = func(ex adt.Executor) error {
+			return adt.Counter{L: "hot"}.Add(ex, 1)
+		}
+	}
+	final, stats, err := Run(Config{
+		Threads: 8,
+		Hooks:   &Hooks{CommitDelay: g.hook},
+	}, st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.max(); got != 1 {
+		t.Fatalf("peak commit concurrency = %d for same-location commits, want 1", got)
+	}
+	if v, _ := final.Get("hot"); !v.EqualValue(state.Int(24)) {
+		t.Fatalf("hot = %v, want 24", v)
+	}
+	if stats.Commits != 24 {
+		t.Fatalf("Commits = %d, want 24", stats.Commits)
+	}
+}
+
+// TestDisjointCommitsOverlap is the throughput half of the contract:
+// transactions with disjoint footprints must be able to occupy the
+// commit critical section concurrently. The hook parks each committer
+// for 2ms with its stripes held, so with 8 workers over 16 disjoint
+// locations two commits overlapping is guaranteed unless the path
+// serializes them.
+func TestDisjointCommitsOverlap(t *testing.T) {
+	st := state.New()
+	locs := make([]state.Loc, 16)
+	for i := range locs {
+		locs[i] = state.Loc(string(rune('a' + i)))
+		st.Set(locs[i], state.Int(0))
+	}
+	g := newCommitGauge()
+	tasks := make([]adt.Task, 64)
+	for i := range tasks {
+		loc := locs[i%len(locs)]
+		tasks[i] = func(ex adt.Executor) error {
+			return adt.Counter{L: loc}.Add(ex, 1)
+		}
+	}
+	_, stats, err := Run(Config{
+		Threads: 8,
+		Hooks:   &Hooks{CommitDelay: g.hook},
+	}, st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-g.entered:
+	default:
+		t.Fatalf("no two disjoint-footprint commits ever overlapped (peak = %d)", g.max())
+	}
+	if stats.Commits != 64 {
+		t.Fatalf("Commits = %d, want 64", stats.Commits)
+	}
+}
+
+// TestSerialEscalationExcludesStripedCommits checks the demoted global
+// lock still does its one remaining job: a serial escalation (write
+// side) must not run while any striped commit holds the read side, so
+// the gauge never sees a serial commit overlap an optimistic one.
+func TestSerialEscalationExcludesStripedCommits(t *testing.T) {
+	st := state.New()
+	st.Set("hot", state.Int(0))
+	g := newCommitGauge()
+	var forced int32
+	tasks := make([]adt.Task, 16)
+	for i := range tasks {
+		tasks[i] = func(ex adt.Executor) error {
+			return adt.Counter{L: "hot"}.Add(ex, 1)
+		}
+	}
+	_, _, err := Run(Config{
+		Threads:        8,
+		SerializeAfter: 2,
+		Hooks: &Hooks{
+			CommitDelay: g.hook,
+			ForceAbort: func(task, attempt int) bool {
+				// Starve a few tasks into escalation.
+				return task <= 4 && attempt <= 2 && atomic.AddInt32(&forced, 1) > 0
+			},
+		},
+	}, st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.max(); got != 1 {
+		t.Fatalf("peak commit concurrency = %d with serial escalations in flight, want 1", got)
+	}
+}
+
+// TestCommitStripesOne degenerates the stripe table to the paper's
+// single commit lock and checks the protocol still serializes and
+// completes — the configuration CI uses as the contention worst case.
+func TestCommitStripesOne(t *testing.T) {
+	st := state.New()
+	for i := 0; i < 8; i++ {
+		st.Set(state.Loc(string(rune('a'+i))), state.Int(0))
+	}
+	tasks := make([]adt.Task, 32)
+	for i := range tasks {
+		loc := state.Loc(string(rune('a' + i%8)))
+		tasks[i] = func(ex adt.Executor) error {
+			return adt.Counter{L: loc}.Add(ex, 1)
+		}
+	}
+	final, stats, err := Run(Config{Threads: 4, CommitStripes: 1}, st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		loc := state.Loc(string(rune('a' + i)))
+		if v, _ := final.Get(loc); !v.EqualValue(state.Int(4)) {
+			t.Fatalf("%s = %v, want 4", loc, v)
+		}
+	}
+	if stats.Commits != 32 {
+		t.Fatalf("Commits = %d, want 32", stats.Commits)
+	}
+}
+
+// TestMaxHistNeverExceedsBound pins the reservation accounting: with
+// commits publishing concurrently, the recorded peak history length must
+// still respect Config.MaxHistory exactly (reserved slots count toward
+// the bound between ticket and append).
+func TestMaxHistNeverExceedsBound(t *testing.T) {
+	st := state.New()
+	for i := 0; i < 8; i++ {
+		st.Set(state.Loc(string(rune('a'+i))), state.Int(0))
+	}
+	tasks := make([]adt.Task, 64)
+	for i := range tasks {
+		loc := state.Loc(string(rune('a' + i%8)))
+		tasks[i] = func(ex adt.Executor) error {
+			return adt.Counter{L: loc}.Add(ex, 1)
+		}
+	}
+	const bound = 3
+	_, stats, err := Run(Config{Threads: 8, MaxHistory: bound}, st, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxHist > bound {
+		t.Fatalf("MaxHist = %d exceeds MaxHistory = %d", stats.MaxHist, bound)
+	}
+}
+
+// TestWaitPublishedFailureWakes checks the sequencer's waiters observe a
+// run failure instead of parking forever on a watermark that will never
+// be reached.
+func TestWaitPublishedFailureWakes(t *testing.T) {
+	r := New(Config{}, state.New())
+	done := make(chan bool, 1)
+	go func() { done <- r.waitPublished(99) }()
+	time.Sleep(5 * time.Millisecond)
+	r.fail(errors.New("boom"))
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("waitPublished reported success after run failure")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waitPublished did not wake on run failure")
+	}
+}

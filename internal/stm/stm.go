@@ -1,14 +1,22 @@
 // Package stm implements the JANUS parallelization protocol of Figure 7:
 // optimistic transactions over privatized shared state, a global version
-// clock, read-write-lock-mediated snapshots and commits, conflict
-// detection against the committed history, log replay at commit, and
-// ordered or unordered commit modes. Theorem 4.1's termination and
-// serializability guarantees hold for any sound and valid detector.
+// clock, conflict detection against the committed history, log replay at
+// commit, and ordered or unordered commit modes. Theorem 4.1's
+// termination and serializability guarantees hold for any sound and
+// valid detector.
 //
 // Two privatization strategies are provided (§4.1 "Versioning"): naive
 // deep copying of the shared state at transaction begin — what the
 // paper's prototype did — and copy-on-access over a fully persistent map
-// (internal/persist), the improvement the paper proposes.
+// (internal/persist), the improvement the paper proposes. Both snapshot
+// from one immutable committed version, so transaction begin never
+// blocks on the commit path.
+//
+// Commits are striped, not globally locked (see commit.go): a committer
+// locks only the stripes covering its footprint, replays into a private
+// overlay, and publishes in commit-time order through a sequencer.
+// Footprint-disjoint transactions commit concurrently; the paper's
+// global write lock survives only for serial escalation.
 package stm
 
 import (
@@ -16,7 +24,6 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,9 +120,10 @@ type Hooks struct {
 	// commit attempt, with no locks held — it widens the detect-to-commit
 	// race window that the commit-time clock re-check guards.
 	WindowDelay func(task int)
-	// CommitDelay runs inside the commit critical section (write lock
-	// held, clock check passed), before the log replays — it stretches
-	// the serial commit window every other transaction races against.
+	// CommitDelay runs inside the commit critical section (footprint
+	// stripes held, race screen passed), before the log replays — it
+	// stretches the commit window every overlapping transaction races
+	// against, and lets tests observe which commits replay concurrently.
 	CommitDelay func(task int)
 }
 
@@ -142,10 +150,12 @@ type Governor interface {
 
 // CommitSink receives every committed transaction's operation log — the
 // record half of record/replay (see internal/rec). ObserveCommitted runs
-// after the commit published, outside the runtime's write lock for
-// optimistic commits (serial escalations call it with the lock held);
-// commitTime values are unique and the logs replayed in commitTime order
-// over the initial state reconstruct the final state (serializability).
+// inside the commit's publication turn (serial escalations call it with
+// the global write lock held), so calls arrive in strictly increasing
+// commitTime order across all workers — the serialization order — and
+// the logs replayed in that order over the initial state reconstruct the
+// final state. The flip side of the ordering guarantee: a slow sink
+// stalls every later commit, so implementations must return promptly.
 // The log is the transaction's live slice: implementations must not
 // retain it past the call. A nil sink costs one branch per commit.
 type CommitSink interface {
@@ -207,6 +217,13 @@ type Config struct {
 	// Record receives each committed transaction's op log (see
 	// CommitSink); nil disables recording at the cost of one branch.
 	Record CommitSink
+	// CommitStripes sets the commit-path location lock table size; a
+	// commit locks the stripes its footprint hashes into, so only
+	// transactions whose footprints collide serialize their replays.
+	// More stripes mean fewer false collisions at a few cache lines of
+	// cost. 0 means DefaultCommitStripes; 1 degenerates to the paper's
+	// single commit lock.
+	CommitStripes int
 }
 
 // Stats reports a run's behavior. The JSON tags are the RunReport schema
@@ -250,9 +267,15 @@ func (s Stats) RetryRatio() float64 {
 // the log's detection artifact, prepared exactly once at commit time
 // (conflict.Prepare) and shared read-only by every concurrent detector.
 type histEntry struct {
-	commitTime int64 // clock value after the commit's increment
+	commitTime int64 // the commit's sequencer ticket
 	task       int
 	prep       *conflict.Prepared
+	// sigAll/sigWrite are the entry's footprint overlap signatures
+	// (footprintSigs): later commits use them to screen, without
+	// re-detection, whether an entry that published mid-attempt could
+	// possibly share a location with them.
+	sigAll   uint64
+	sigWrite uint64
 }
 
 // Runtime executes one task set. It is single-use.
@@ -260,20 +283,48 @@ type Runtime struct {
 	cfg      Config
 	detector conflict.Detector
 
-	lock  sync.RWMutex // the paper's read-write lock
-	clock atomic.Int64 // Clock, initialized to 1
+	// lock is the paper's global read-write lock, demoted by the striped
+	// commit path to one job: optimistic commits hold the read side
+	// while ticketed — so they overlap each other freely — and serial
+	// escalation takes the write side to run truly alone.
+	lock  sync.RWMutex
+	clock atomic.Int64 // commit-time ticket counter, initialized to 1
 
-	// Shared state under PrivatizeCopy.
-	shared *state.State
-	// Shared state version under PrivatizePersistent.
-	version atomic.Pointer[persist.Map[state.Value]]
+	// published is the commit sequencer's watermark: the highest commit
+	// time whose publication (version merge + history append) has
+	// completed. Begin snapshots, fetch watermarks, ordered commit
+	// turns, and the reclamation floor all read published, never clock —
+	// tickets run ahead of visible history.
+	published atomic.Int64
+	seqMu     sync.Mutex
+	// seqWaiters parks goroutines per awaited watermark value
+	// (waitPublished); published advances by exactly one per
+	// publication, so each advance wakes precisely the waiters
+	// registered for the new value.
+	seqWaiters map[int64][]chan struct{}
+
+	// stripes is the commit-path location lock table (commit.go).
+	stripes []sync.RWMutex
+
+	// base and over form the committed shared state (see store.go): a
+	// frozen table of per-location atomic value boxes for the initial
+	// locations, plus a persistent-map overflow for locations created
+	// mid-run. Both privatization modes fault from it without locking;
+	// publication merges written locations into it in commit order, one
+	// atomic store each.
+	base map[state.Loc]*locBox
+	over atomic.Pointer[persist.Map[*locBox]]
 
 	histMu  sync.Mutex
 	history []histEntry
 	// begins tracks active transactions' begin times for reclamation.
 	begins map[int]int64
+	// histReserved counts MaxHistory slots claimed by ticketed commits
+	// that have not appended yet (reserveHistorySlot), so concurrent
+	// commits cannot overshoot the bound between check and append.
+	histReserved int
 
-	commitCond *sync.Cond // broadcast on clock advance (ordered waits)
+	commitCond *sync.Cond // broadcast on publication (MaxHistory waiters)
 
 	tracer obs.Tracer
 
@@ -300,24 +351,31 @@ func New(cfg Config, initial *state.State) *Runtime {
 		cfg.Threads = runtime.GOMAXPROCS(0)
 	}
 	r := &Runtime{
-		cfg:      cfg,
-		detector: cfg.Detector,
-		tracer:   cfg.Tracer,
-		begins:   make(map[int]int64),
-		done:     make(chan struct{}),
+		cfg:        cfg,
+		detector:   cfg.Detector,
+		tracer:     cfg.Tracer,
+		begins:     make(map[int]int64),
+		seqWaiters: make(map[int64][]chan struct{}),
+		done:       make(chan struct{}),
 	}
 	r.clock.Store(1)
+	r.published.Store(1)
 	r.commitCond = sync.NewCond(&r.histMu)
-	if cfg.Privatize == PrivatizePersistent {
-		m := persist.NewMap[state.Value]()
-		for _, loc := range initial.Locs() {
-			v, _ := initial.Get(loc)
-			m = m.Set(string(loc), v.CloneValue())
-		}
-		r.version.Store(m)
-	} else {
-		r.shared = initial.Clone()
+	n := cfg.CommitStripes
+	if n <= 0 {
+		n = DefaultCommitStripes
 	}
+	r.stripes = make([]sync.RWMutex, n)
+	locs := initial.Locs()
+	r.base = make(map[state.Loc]*locBox, len(locs))
+	for _, loc := range locs {
+		v, _ := initial.Get(loc)
+		b := new(locBox)
+		cl := v.CloneValue()
+		b.v.Store(&cl)
+		r.base[loc] = b
+	}
+	r.over.Store(persist.NewMap[*locBox]())
 	return r
 }
 
@@ -499,15 +557,12 @@ func (r *Runtime) statsSnapshot() Stats {
 
 // finalState materializes the committed shared state.
 func (r *Runtime) finalState() *state.State {
-	if r.cfg.Privatize == PrivatizePersistent {
-		out := state.New()
-		r.version.Load().Range(func(k string, v state.Value) bool {
-			out.Set(state.Loc(k), v.CloneValue())
-			return true
-		})
-		return out
-	}
-	return r.shared.Clone()
+	out := state.New()
+	r.storeRange(func(l state.Loc, v state.Value) bool {
+		out.Set(l, v.CloneValue())
+		return true
+	})
+	return out
 }
 
 // runTask is RUNTASK of Figure 7: retry until commit. The whole service
@@ -612,6 +667,19 @@ type Tx struct {
 	snap   *state.State // SharedSnapshot
 	log    oplog.Log
 	maxOps int // Config.MaxTxnOps; 0 = unlimited
+
+	// evSlab backs the log's events in batches: Exec appends into the
+	// current slab and logs a pointer to the slab element, one allocation
+	// per batch instead of one per operation. A full slab is abandoned in
+	// place (logged pointers keep it alive) and a doubled one starts.
+	evSlab []oplog.Event
+
+	// Commit-path scratch (commit.go): the sorted stripe set and overlap
+	// signatures of the attempt's footprint, planned per commit attempt.
+	stripes    []stripeRef
+	stripesBuf [8]stripeRef
+	sigAll     uint64
+	sigWrite   uint64
 }
 
 // Exec implements adt.Executor.
@@ -624,9 +692,17 @@ func (t *Tx) Exec(op oplog.Op) (state.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.log = append(t.log, &oplog.Event{
+	if len(t.evSlab) == cap(t.evSlab) {
+		n := 2 * cap(t.evSlab)
+		if n == 0 {
+			n = 8
+		}
+		t.evSlab = make([]oplog.Event, 0, n)
+	}
+	t.evSlab = append(t.evSlab, oplog.Event{
 		Op: op, Task: t.tid, Seq: len(t.log), Acc: acc, Observed: v,
 	})
+	t.log = append(t.log, &t.evSlab[len(t.evSlab)-1])
 	return v, nil
 }
 
@@ -677,24 +753,30 @@ func (r *Runtime) attempt(ctx obs.Ctx, task adt.Task, tid int) (committed bool, 
 	validated := 0
 
 	if r.cfg.Ordered {
-		// Wait until all preceding tasks committed: clock == tid. Under
-		// MaxHistory the waiter drains the history incrementally on every
-		// wakeup, advancing its begin watermark — otherwise its stale
-		// begin would pin the whole window and deadlock a predecessor
-		// stalled on the history bound.
+		// Wait until all preceding tasks fully published: published ==
+		// tid. Under MaxHistory the waiter parks on commitCond and drains
+		// the history incrementally on every wakeup, advancing its begin
+		// watermark — otherwise its stale begin would pin the whole
+		// window and deadlock a predecessor stalled on the history bound.
+		// Without MaxHistory it registers on the commit sequencer's
+		// waiter table instead and is woken exactly once, by its
+		// predecessor's publication — the O(1) "may I commit?" query, no
+		// broadcast storm across all waiting tasks.
 		waitStart := ctx.Now()
 		var govStart time.Time
 		if r.cfg.Governor != nil {
 			govStart = time.Now()
 		}
-		r.histMu.Lock()
-		for r.clock.Load() != int64(tid) && !r.failed() {
-			if r.cfg.MaxHistory > 0 {
+		if r.cfg.MaxHistory > 0 {
+			r.histMu.Lock()
+			for r.published.Load() != int64(tid) && !r.failed() {
 				seen = r.drainLocked(tid, seen, &opsC)
+				r.commitCond.Wait()
 			}
-			r.commitCond.Wait()
+			r.histMu.Unlock()
+		} else {
+			r.waitPublished(int64(tid))
 		}
-		r.histMu.Unlock()
 		if gov := r.cfg.Governor; gov != nil {
 			gov.ObserveCommitWait(time.Since(govStart))
 		}
@@ -708,11 +790,9 @@ func (r *Runtime) attempt(ctx obs.Ctx, task adt.Task, tid int) (committed bool, 
 		if r.failed() {
 			return false, nil
 		}
-		now := r.clock.Load()
+		now := r.published.Load()
 		if now > seen {
-			r.lock.RLock()
-			opsC = append(opsC, r.committedHistory(seen, now)...)
-			r.lock.RUnlock()
+			opsC = r.committedHistory(opsC, seen, now)
 			seen = now
 			if r.cfg.MaxHistory > 0 {
 				// Everything up to seen is copied into opsC; advance the
@@ -751,15 +831,18 @@ func (r *Runtime) attempt(ctx obs.Ctx, task adt.Task, tid int) (committed bool, 
 			h.WindowDelay(tid)
 		}
 		commitStart := ctx.Now()
-		res, ctime := r.commit(tx, prep, now)
+		res := r.commit(ctx, tx, prep, seen)
 		switch res {
 		case commitOK:
 			published = true
 			ctx.End(obs.EvTxCommit, commitStart)
-			if sink := r.cfg.Record; sink != nil {
-				sink.ObserveCommitted(tid, ctime, tx.log)
-			}
 			return true, nil
+		case commitFailed:
+			// The run is dead (replay error or external failure): the
+			// attempt is doomed, so return without re-entering the retry
+			// loop — a doomed retry would burn a backoff sleep and a
+			// validation pass before noticing.
+			return false, nil
 		case commitStall:
 			// The history bound, not a conflict: wait for reclamation to
 			// make room, then re-detect (the history may have evolved
@@ -811,29 +894,53 @@ func (r *Runtime) logCapHint() int {
 	return hint
 }
 
-// createTransaction is CREATETRANSACTION of Figure 7.
+// createTransaction is CREATETRANSACTION of Figure 7, without the
+// paper's read lock: the committed version is an immutable map, so the
+// snapshot is a pointer read (persistent mode) or a lock-free
+// materialization (copy mode) — begin never blocks on the commit path.
 func (r *Runtime) createTransaction(tid int) *Tx {
-	r.lock.RLock()
-	defer r.lock.RUnlock()
-	begin := r.clock.Load()
+	// Read the begin watermark and register it under histMu in one step:
+	// once begins[tid] is visible, reclamation cannot drop entries newer
+	// than begin, so the fetch loop is guaranteed to see everything the
+	// snapshot missed. Reading published before registering would let a
+	// concurrent publish-and-reclaim drop an entry this transaction
+	// still needs to validate against.
+	r.histMu.Lock()
+	begin := r.published.Load()
+	r.begins[tid] = begin
+	r.histMu.Unlock()
+	return r.newTx(tid, begin)
+}
+
+// newTx builds a transaction whose private and snapshot views privatize
+// the committed store. Faults read the store live (per-location, after
+// begin was fixed), so every observed value reflects a commit at some
+// published time ≥ what begin guarantees; values from commits past the
+// validated fetch watermark are screened or re-detected at commit (see
+// store.go), never silently trusted.
+func (r *Runtime) newTx(tid int, begin int64) *Tx {
 	tx := &Tx{tid: tid, begin: begin, maxOps: r.cfg.MaxTxnOps}
 	if hint := r.logCapHint(); hint > 0 {
 		tx.log = make(oplog.Log, 0, hint)
+		tx.evSlab = make([]oplog.Event, 0, hint)
 	}
+	fault := r.storeGet
 	if r.cfg.Privatize == PrivatizePersistent {
-		ver := r.version.Load()
-		fault := func(l state.Loc) (state.Value, bool) {
-			return ver.Get(string(l))
-		}
 		tx.priv = state.NewFaulting(fault)
-		tx.snap = state.NewFaulting(fault)
 	} else {
-		tx.priv = r.shared.Clone()
-		tx.snap = tx.priv.Clone()
+		// The paper prototype's "naive fashion": the private view is an
+		// eager deep copy of the whole committed state. The detection
+		// snapshot stays a faulting view in both modes — it is protocol
+		// infrastructure, not part of the privatization strategy, and
+		// copying it eagerly would double the copy-mode begin cost.
+		st := state.NewSized(len(r.base) + r.over.Load().Len())
+		r.storeRange(func(l state.Loc, v state.Value) bool {
+			st.Set(l, v.CloneValue())
+			return true
+		})
+		tx.priv = st
 	}
-	r.histMu.Lock()
-	r.begins[tid] = begin
-	r.histMu.Unlock()
+	tx.snap = state.NewFaulting(fault)
 	return tx
 }
 
@@ -861,31 +968,29 @@ func (r *Runtime) advanceBegin(tid int, seen int64) {
 	r.histMu.Unlock()
 }
 
-// drainLocked copies every history entry newer than seen into opsC and
-// advances the transaction's begin watermark — the ordered-wait variant
-// of the fetch in the detect loop, run under the already-held histMu
-// while the waiter sleeps for its commit turn. Returns the new watermark.
+// drainLocked copies every published history entry newer than seen into
+// opsC and advances the transaction's begin watermark — the ordered-wait
+// variant of the fetch in the detect loop, run under the already-held
+// histMu while the waiter sleeps for its commit turn. Returns the new
+// watermark.
 //
-// publishLocked advances the clock before it acquires histMu to append
-// the entry, so the raw clock can run ahead of the newest visible history
-// entry. The watermark is therefore capped at that entry's commit time:
-// advancing to the raw clock would skip the in-flight entry forever
-// (later fetches read (seen, now] only) and let it be reclaimed unseen.
-// Every entry in (seen, cap] is present, because this waiter's begin
-// watermark pins entries newer than seen against reclamation.
+// The watermark is the sequencer's published value, never the raw
+// clock: a ticketed commit may have appended nothing yet, and one that
+// appended but has not advanced the watermark is skipped here (entries
+// above published) and picked up by a later fetch. Every entry in
+// (seen, published] is present, because publication appends before
+// advancing the watermark and this waiter's begin pins entries newer
+// than seen against reclamation.
 func (r *Runtime) drainLocked(tid int, seen int64, opsC *[]*conflict.Prepared) int64 {
-	if len(r.history) == 0 {
-		return seen
-	}
-	now := r.clock.Load()
-	if last := r.history[len(r.history)-1].commitTime; last < now {
-		now = last
-	}
+	now := r.published.Load()
 	if now <= seen {
 		return seen
 	}
-	lo := sort.Search(len(r.history), func(i int) bool { return r.history[i].commitTime > seen })
+	lo := searchHist(r.history, seen)
 	for _, h := range r.history[lo:] {
+		if h.commitTime > now {
+			break
+		}
 		*opsC = append(*opsC, h.prep)
 	}
 	if b, ok := r.begins[tid]; ok && now > b {
@@ -895,123 +1000,77 @@ func (r *Runtime) drainLocked(tid int, seen int64, opsC *[]*conflict.Prepared) i
 	return now
 }
 
-// committedHistory returns the prepared artifacts of transactions that
-// committed in (begin, now], one per transaction in commit order —
-// GETCOMMITTEDHISTORY of Figure 7. Commit times are strictly increasing
-// in history order (each commit appends under the write lock after
-// advancing the clock, and reclamation only drops a prefix), so the
-// window is found by binary search instead of scanning the whole history.
-func (r *Runtime) committedHistory(begin, now int64) []*conflict.Prepared {
+// committedHistory appends to dst the prepared artifacts of transactions
+// that committed in (begin, now], one per transaction in commit order —
+// GETCOMMITTEDHISTORY of Figure 7, appending into the caller's window
+// buffer instead of allocating a fresh slice per fetch. now must be a
+// published watermark (every entry at or below it has been appended).
+// Commit times are strictly increasing in history order (publication
+// runs in ticket order, and reclamation only drops a prefix), so the
+// window is found by binary search instead of scanning the whole
+// history.
+func (r *Runtime) committedHistory(dst []*conflict.Prepared, begin, now int64) []*conflict.Prepared {
 	r.histMu.Lock()
 	defer r.histMu.Unlock()
-	lo := sort.Search(len(r.history), func(i int) bool { return r.history[i].commitTime > begin })
-	hi := sort.Search(len(r.history), func(i int) bool { return r.history[i].commitTime > now })
-	if lo >= hi {
-		return nil
+	lo := searchHist(r.history, begin)
+	hi := searchHist(r.history, now)
+	for _, h := range r.history[lo:hi] {
+		dst = append(dst, h.prep)
 	}
-	out := make([]*conflict.Prepared, hi-lo)
-	for i, h := range r.history[lo:hi] {
-		out[i] = h.prep
-	}
-	return out
+	return dst
 }
 
-// commitResult is commit's outcome: committed, lost the clock race (the
-// history evolved since detection), or stalled on the MaxHistory bound.
+// commitResult is commit's outcome: committed, lost the footprint race
+// (an overlapping entry published since detection), stalled on the
+// MaxHistory bound, or terminal (the run failed — the attempt must not
+// retry).
 type commitResult int
 
 const (
 	commitOK commitResult = iota
 	commitRace
 	commitStall
+	commitFailed
 )
-
-// commit is COMMIT of Figure 7: under the write lock, validate that the
-// history has not evolved since detection, advance the clock, and replay
-// the log onto the shared state. Under Config.MaxHistory a commit that
-// would overflow the bound returns commitStall — before mutating any
-// shared state — and the caller waits for reclamation to make room. On
-// commitOK the second result is the clock value the commit published
-// (for the CommitSink); it is meaningless otherwise.
-func (r *Runtime) commit(tx *Tx, prep *conflict.Prepared, tcheck int64) (commitResult, int64) {
-	r.lock.Lock()
-	defer r.lock.Unlock()
-	if r.clock.Load() != tcheck {
-		return commitRace, 0
-	}
-	if h := r.cfg.Hooks; h != nil && h.CommitDelay != nil {
-		h.CommitDelay(tx.tid)
-	}
-	if r.cfg.MaxHistory > 0 && !r.historyRoomLocked() {
-		return commitStall, 0
-	}
-	if err := r.replayLocked(tx.log); err != nil {
-		r.fail(err)
-		return commitRace, 0
-	}
-	return commitOK, r.publishLocked(tx.tid, prep)
-}
 
 // historyRoomLocked reports whether the committed history can accept one
 // more entry under Config.MaxHistory, forcing a reclamation pass first if
-// it cannot. Caller holds the write lock, so the history cannot grow
-// between this check and the subsequent publish.
+// it cannot. Caller holds the global write lock (serial escalation), so
+// no commit is ticketed, no slot is reserved, and the history cannot
+// grow between this check and the subsequent publish.
 func (r *Runtime) historyRoomLocked() bool {
 	r.histMu.Lock()
 	defer r.histMu.Unlock()
-	if len(r.history) >= r.cfg.MaxHistory {
+	if len(r.history)+r.histReserved >= r.cfg.MaxHistory {
 		r.reclaimLocked()
 	}
-	return len(r.history) < r.cfg.MaxHistory
+	return len(r.history)+r.histReserved < r.cfg.MaxHistory
 }
 
-// stallForHistory blocks until the history has room for one more entry,
-// forcing a reclamation pass on every wakeup, or until the run fails.
-// Progress is guaranteed: every other active transaction eventually
-// commits (broadcast), aborts (dropBegin broadcasts), or advances its
-// begin watermark as it fetches or drains history (broadcast) — any of
-// which raises the reclamation floor.
+// stallForHistory blocks until the history has room for one more entry
+// (reserved slots included), forcing a reclamation pass on every wakeup,
+// or until the run fails. Progress is guaranteed: every other active
+// transaction eventually commits (publication broadcasts under
+// MaxHistory), aborts (dropBegin broadcasts), or advances its begin
+// watermark as it fetches or drains history (broadcast) — any of which
+// raises the reclamation floor. Only a stall that actually parks counts
+// toward Stats.CommitStalls: when the entry reclamation pass frees room
+// immediately, the commit never waited and nothing is recorded.
 func (r *Runtime) stallForHistory() {
-	atomic.AddInt64(&r.stats.CommitStalls, 1)
+	stalled := false
 	r.histMu.Lock()
 	for !r.failed() {
 		r.reclaimLocked()
-		if len(r.history) < r.cfg.MaxHistory {
+		if len(r.history)+r.histReserved < r.cfg.MaxHistory {
 			break
+		}
+		if !stalled {
+			stalled = true
+			atomic.AddInt64(&r.stats.CommitStalls, 1)
 		}
 		r.commitCond.Wait()
 	}
 	r.histMu.Unlock()
-}
-
-// replayLocked applies a validated log to the shared state under the
-// caller-held write lock, dispatching on the privatization strategy.
-func (r *Runtime) replayLocked(log oplog.Log) error {
-	if r.cfg.Privatize == PrivatizePersistent {
-		return r.replayPersistent(log)
-	}
-	return log.Replay(r.shared)
-}
-
-// publishLocked advances the clock, appends the committed log's prepared
-// artifact to the history, reclaims if configured, and wakes ordered-mode
-// waiters, returning the new clock value (the entry's commit time).
-// Caller holds the write lock. The artifact was prepared by the
-// committing attempt (its own validation reused it), so publication costs
-// no additional preparation work.
-func (r *Runtime) publishLocked(tid int, prep *conflict.Prepared) int64 {
-	newClock := r.clock.Add(1)
-	r.histMu.Lock()
-	r.history = append(r.history, histEntry{commitTime: newClock, task: tid, prep: prep})
-	if n := int64(len(r.history)); n > atomic.LoadInt64(&r.stats.MaxHist) {
-		atomic.StoreInt64(&r.stats.MaxHist, n)
-	}
-	if r.cfg.ReclaimLogs {
-		r.reclaimLocked()
-	}
-	r.commitCond.Broadcast()
-	r.histMu.Unlock()
-	return newClock
 }
 
 // attemptSerial escalates a starving transaction to irrevocable serial
@@ -1035,11 +1094,15 @@ func (r *Runtime) attemptSerial(ctx obs.Ctx, task adt.Task, tid int) (committed 
 		if r.cfg.Governor != nil {
 			govStart = time.Now()
 		}
-		r.histMu.Lock()
-		for r.clock.Load() != int64(tid) && !r.failed() {
-			r.commitCond.Wait()
+		if r.cfg.MaxHistory > 0 {
+			r.histMu.Lock()
+			for r.published.Load() != int64(tid) && !r.failed() {
+				r.commitCond.Wait()
+			}
+			r.histMu.Unlock()
+		} else {
+			r.waitPublished(int64(tid))
 		}
-		r.histMu.Unlock()
 		if gov := r.cfg.Governor; gov != nil {
 			gov.ObserveCommitWait(time.Since(govStart))
 		}
@@ -1070,24 +1133,11 @@ func (r *Runtime) attemptSerial(ctx obs.Ctx, task adt.Task, tid int) (committed 
 	if r.failed() {
 		return false, nil
 	}
-	// Build the transaction against the live state; the write lock
-	// freezes the clock, the shared state, and the persistent version for
-	// the duration, so the privatized view cannot go stale.
-	tx := &Tx{tid: tid, begin: r.clock.Load(), maxOps: r.cfg.MaxTxnOps}
-	if hint := r.logCapHint(); hint > 0 {
-		tx.log = make(oplog.Log, 0, hint)
-	}
-	if r.cfg.Privatize == PrivatizePersistent {
-		ver := r.version.Load()
-		fault := func(l state.Loc) (state.Value, bool) {
-			return ver.Get(string(l))
-		}
-		tx.priv = state.NewFaulting(fault)
-		tx.snap = state.NewFaulting(fault)
-	} else {
-		tx.priv = r.shared.Clone()
-		tx.snap = tx.priv.Clone()
-	}
+	// Build the transaction against the live version; the write lock
+	// excludes every optimistic commit (they hold the read side while
+	// ticketed), so the sequencer is drained — clock == published — and
+	// the privatized view cannot go stale.
+	tx := r.newTx(tid, r.published.Load())
 	if err := runTaskBody(task, tx, tid); err != nil {
 		return false, err
 	}
@@ -1095,51 +1145,39 @@ func (r *Runtime) attemptSerial(ctx obs.Ctx, task adt.Task, tid int) (committed 
 	if h := r.cfg.Hooks; h != nil && h.CommitDelay != nil {
 		h.CommitDelay(tid)
 	}
-	if err := r.replayLocked(tx.log); err != nil {
-		return false, err
-	}
 	// A serial transaction never validated, so its log has no artifact
 	// yet; prepare it here (under the write lock, once) for the detectors
-	// of every future transaction that finds it in the history.
-	ctime := r.publishLocked(tid, conflict.Prepare(tx.log))
+	// of every future transaction that finds it in the history, and for
+	// its own footprint (the merge's written-location list).
+	prep := conflict.Prepare(tx.log)
+	rep, err := r.replayCompute(tx.log)
+	if err != nil {
+		return false, err
+	}
+	sigAll, sigWrite := footprintSigs(prep.Footprint())
+	ctime := r.clock.Add(1)
+	r.mergeVersion(rep, prep.Footprint())
+	r.publishEntry(tid, ctime, prep, sigAll, sigWrite, false)
 	if sink := r.cfg.Record; sink != nil {
 		sink.ObserveCommitted(tid, ctime, tx.log)
+	}
+	r.advancePublished(ctime)
+	if r.cfg.MaxHistory > 0 {
+		r.histMu.Lock()
+		r.commitCond.Broadcast()
+		r.histMu.Unlock()
 	}
 	ctx.End(obs.EvTxSerial, serialStart)
 	return true, nil
 }
 
-// replayPersistent applies the log to a faulting overlay of the current
-// version and publishes the written locations as a new version.
-func (r *Runtime) replayPersistent(log oplog.Log) error {
-	ver := r.version.Load()
-	tmp := state.NewFaulting(func(l state.Loc) (state.Value, bool) {
-		return ver.Get(string(l))
-	})
-	if err := log.Replay(tmp); err != nil {
-		return err
-	}
-	written := make(map[state.Loc]struct{})
-	for _, e := range log {
-		for _, a := range e.Acc { // footprints recorded at execution time
-			if a.Write {
-				written[a.P.Loc()] = struct{}{}
-			}
-		}
-	}
-	for loc := range written {
-		if v, ok := tmp.Get(loc); ok {
-			ver = ver.Set(string(loc), v.CloneValue())
-		}
-	}
-	r.version.Store(ver)
-	return nil
-}
-
 // reclaimLocked drops history entries every active transaction has already
-// seen (commitTime ≤ min active begin). Caller holds histMu.
+// seen (commitTime ≤ min active begin). Caller holds histMu. The floor is
+// the published watermark, not the raw clock: an entry appended by a
+// commit whose publication turn has not finished must never be dropped
+// before any transaction could have fetched it.
 func (r *Runtime) reclaimLocked() {
-	minBegin := r.clock.Load()
+	minBegin := r.published.Load()
 	for _, b := range r.begins {
 		if b < minBegin {
 			minBegin = b

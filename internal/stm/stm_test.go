@@ -287,7 +287,8 @@ func TestReclaimReleasesLogReferences(t *testing.T) {
 		})
 	}
 	r.clock.Store(7)
-	r.begins[1] = 4 // active transaction began at 4: entries ≤ 4 reclaimable
+	r.published.Store(7) // all six commits fully published
+	r.begins[1] = 4      // active transaction began at 4: entries ≤ 4 reclaimable
 	backing := r.history
 	collected := make(chan struct{}, 1)
 	runtime.SetFinalizer(backing[0].prep.Log()[0], func(*oplog.Event) { collected <- struct{}{} })
@@ -321,21 +322,26 @@ func TestReclaimReleasesLogReferences(t *testing.T) {
 }
 
 // TestDrainLockedCapsAtAppendedHistory reproduces the publish/drain race:
-// publishLocked advances the clock before acquiring histMu to append the
-// committed entry, so an ordered waiter draining in that window observes
-// the advanced clock while the newest entry is still missing from the
-// history. The drain watermark must cap at the newest appended entry —
-// advancing to the raw clock would move the begin watermark past the
-// in-flight entry without copying its log, and the entry would never be
-// fetched again (fetches read (seen, now] only).
+// commits ticket the clock before their publication turn comes up, and a
+// publishing commit appends its entry before advancing the published
+// watermark, so an ordered waiter can drain while the clock (3) is ahead
+// of the watermark (2) and an appended entry (commit time 3) is not yet
+// published. The drain must cap at the published watermark — advancing to
+// the raw clock, or copying the appended-but-unpublished entry, would
+// move the begin watermark past history it has not consistently fetched
+// (fetches read (seen, now] only).
 func TestDrainLockedCapsAtAppendedHistory(t *testing.T) {
 	r := New(Config{Ordered: true, MaxHistory: 8}, initialState())
 	r.history = append(r.history, histEntry{
 		commitTime: 2, task: 1, prep: conflict.Prepare(oplog.Log{&oplog.Event{Task: 1}}),
 	})
-	// A second commit is mid-publish: clock advanced to 3, its entry not
-	// yet appended.
+	// A second commit is mid-publication: its entry is appended but the
+	// watermark has not advanced past it; a third holds ticket 3.
+	r.history = append(r.history, histEntry{
+		commitTime: 3, task: 2, prep: conflict.Prepare(oplog.Log{&oplog.Event{Task: 2}}),
+	})
 	r.clock.Store(3)
+	r.published.Store(2)
 	r.begins[7] = 1
 
 	var ops []*conflict.Prepared
@@ -345,13 +351,13 @@ func TestDrainLockedCapsAtAppendedHistory(t *testing.T) {
 	r.histMu.Unlock()
 
 	if seen != 2 {
-		t.Fatalf("watermark = %d, want 2 (newest appended entry, not clock 3)", seen)
+		t.Fatalf("watermark = %d, want 2 (published watermark, not clock 3)", seen)
 	}
 	if again != 2 {
 		t.Fatalf("re-drain watermark = %d, want 2", again)
 	}
 	if len(ops) != 1 || ops[0].Log()[0].Task != 1 {
-		t.Fatalf("drained ops = %+v, want exactly the committed log", ops)
+		t.Fatalf("drained ops = %+v, want exactly the published log", ops)
 	}
 	if r.begins[7] != 2 {
 		t.Fatalf("begins[7] = %d, want 2", r.begins[7])

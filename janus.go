@@ -305,6 +305,12 @@ type Config struct {
 	// MaxTxnOps bounds a single transaction's operation log; an op past
 	// the budget is refused with *OplogBudgetError. 0 means unlimited.
 	MaxTxnOps int
+	// CommitStripes sets the runtime's commit-path location lock table
+	// size: a committing transaction locks only the stripes its footprint
+	// hashes into, so footprint-disjoint transactions replay their
+	// commits concurrently. 0 means the stm default; 1 degenerates to the
+	// paper's single global commit lock.
+	CommitStripes int
 	// Trace, when non-nil, records every run's protocol events (task
 	// spans, validations, commits, aborts with reasons, cache queries)
 	// into per-worker ring buffers; see RunStats.Timeline and
@@ -497,6 +503,7 @@ func (r *Runner) run(ctx context.Context, initial *State, tasks []Task, ordered 
 		Governor:       stmGov,
 		MaxHistory:     r.cfg.MaxHistory,
 		MaxTxnOps:      r.cfg.MaxTxnOps,
+		CommitStripes:  r.cfg.CommitStripes,
 	}, initial, tasks)
 	rs := RunStats{Run: stats}
 	inner := det
