@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench bench-contention bench-detect bench-commit bench-governor chaos soak trace record-replay clean
+.PHONY: all vet build test race check bench bench-contention bench-detect bench-commit bench-governor chaos soak serve-smoke trace record-replay clean
 
 all: check
 
@@ -15,7 +15,7 @@ test:
 
 # Short race job over the concurrency-heavy packages (mirrors CI).
 race:
-	$(GO) test -race -count=1 . ./internal/stm ./internal/conflict ./internal/obs ./internal/cache ./internal/vtime ./internal/rec
+	$(GO) test -race -count=1 . ./internal/stm ./internal/conflict ./internal/obs ./internal/cache ./internal/vtime ./internal/rec ./internal/serve ./internal/health
 
 # Short chaos soak under the race detector (mirrors CI): fault-injected
 # runs whose final state is checked against the sequential oracle.
@@ -29,7 +29,15 @@ chaos:
 soak:
 	$(GO) test -race -count=1 -run Chaos -timeout 30m ./internal/chaos -chaos.seeds=200
 
-check: vet build test race chaos
+# Serving-layer integration smoke: start janus-serve, drive concurrent
+# multi-tenant load through the janus-bench loadgen client (exactly-once
+# journal + sequential-oracle digest verification), then require a clean
+# SIGTERM drain. Nonzero exit on any lost/duplicated batch, digest
+# mismatch, or hung drain.
+serve-smoke:
+	sh scripts/serve-smoke.sh
+
+check: vet build test race chaos serve-smoke
 
 bench:
 	$(GO) run ./cmd/janus-bench

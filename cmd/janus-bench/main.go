@@ -50,6 +50,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	loadgenpkg "repro/internal/bench/loadgen"
 	"repro/internal/obs"
 	"repro/internal/vtime"
 	"repro/internal/workloads"
@@ -81,8 +82,17 @@ func main() {
 		recFly   = flag.Int("record-flight", 0, "flight-recorder mode: keep only this many trace chunks in memory and dump them on a governor demotion/trip (requires -record and -govern; 0 = stream the whole run)")
 		recGzip  = flag.Bool("record-gzip", false, "gzip-compress trace chunks")
 		stripes  = flag.Int("commit-stripes", 0, "commit-path lock table size for profiled runs (0 = default; 1 = single global commit lock)")
+		serveURL = flag.String("serve", "", "load-generator client mode: drive a running janus-serve at this base URL and verify the exactly-once/digest contract (exits nonzero on violation)")
+		srvTen   = flag.Int("serve-tenants", 0, "loadgen: tenant count (0 = default)")
+		srvCli   = flag.Int("serve-clients", 0, "loadgen: concurrent clients per tenant (0 = default)")
+		srvBat   = flag.Int("serve-batches", 0, "loadgen: batches per client (0 = default)")
 	)
 	flag.Parse()
+
+	if *serveURL != "" {
+		loadgen(*serveURL, *srvTen, *srvCli, *srvBat, *jsonOut)
+		return
+	}
 
 	opts := bench.Opts{
 		ProdRuns: *runs, CacheShards: *shards,
@@ -270,6 +280,32 @@ func profile(out *os.File, opts bench.Opts, traceOut string, jsonOut bool, detNa
 	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// loadgen runs the janus-serve client mode: deterministic concurrent
+// batch traffic plus the exactly-once / oracle-digest verification. Any
+// lost or duplicated accepted batch, digest mismatch, or untyped shed
+// reply exits nonzero — this is the gating half of the CI serving smoke.
+func loadgen(url string, tenants, clients, batches int, jsonOut bool) {
+	rep, err := loadgenpkg.Run(os.Stderr, loadgenpkg.Opts{
+		URL:     url,
+		Tenants: tenants,
+		Clients: clients,
+		Batches: batches,
+	})
+	check(err)
+	if jsonOut {
+		check(loadgenpkg.WriteJSON(os.Stdout, rep))
+	} else {
+		fmt.Printf("loadgen: submitted=%d accepted=%d sheds=%d deadline-misses=%d gave-up=%d\n",
+			rep.Submitted, rep.Accepted, rep.Sheds, rep.Deadlines, rep.GaveUp)
+		for _, tr := range rep.Tenants {
+			fmt.Printf("  tenant %s: applied=%d digest=%s ok=%v\n", tr.Tenant, tr.Applied, tr.Digest, tr.OK)
+		}
+	}
+	if !rep.OK {
+		fatalf("loadgen verification FAILED")
 	}
 }
 

@@ -1,0 +1,147 @@
+// Command janus-serve is a long-running multi-tenant transaction service
+// over the JANUS runtime: clients POST batched transactional workloads to
+// /submit and each tenant gets its own runner, committed state, spec
+// cache handle, flight recorder, and health governor. Admission control
+// follows the governor — full parallel admission while healthy, a reduced
+// in-flight cap while degraded, and a serialized (or shedding) window
+// while tripped — with typed, retryable 429/503 replies carrying
+// Retry-After hints.
+//
+// Endpoints:
+//
+//	POST /submit?tenant=NAME    submit a batch (or X-Janus-Tenant header)
+//	GET  /healthz               service + per-tenant health
+//	GET  /varz                  expvar (includes per-tenant governors)
+//	GET  /statez?tenant=NAME    committed values + state digest
+//	GET  /journalz?tenant=NAME  applied batch IDs in order
+//	GET  /timeline?tenant=NAME  NDJSON event stream (&follow=1 to tail)
+//
+// Shutdown: SIGTERM/SIGINT stops intake (new submits shed with a typed
+// 503 "draining"), drains in-flight batches under -drain-timeout, and
+// exits 0. If the drain deadline expires, the per-tenant flight-recorder
+// rings are dumped to -flight-dir and the process exits 1 — the dumps are
+// replayable with janus-replay.
+//
+// Drive it with the janus-bench load generator:
+//
+//	janus-serve -addr :8085 &
+//	janus-bench -serve http://127.0.0.1:8085 -serve-clients 4
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	janus "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8085", "listen address")
+		threads      = flag.Int("threads", 0, "worker threads per tenant runner (0 = GOMAXPROCS)")
+		detector     = flag.String("detector", "seq", "conflict detector: seq or ws")
+		learn        = flag.Bool("learn-online", true, "prove and cache commutativity conditions at detection time (online training)")
+		maxTenants   = flag.Int("max-tenants", 0, "tenant namespace bound (0 = default)")
+		maxInflight  = flag.Int("max-inflight", 0, "per-tenant in-flight cap while healthy (0 = default)")
+		degInflight  = flag.Int("degraded-inflight", 0, "per-tenant in-flight cap while degraded (0 = MaxInflight/4)")
+		trippedShed  = flag.Bool("tripped-shed", false, "shed every submit while tripped instead of serializing one at a time")
+		retryBudget  = flag.Int("retry-budget", 0, "per-task speculation retry budget (0 = default)")
+		defDeadline  = flag.Duration("default-deadline", 0, "deadline for batches that declare none (0 = default 10s)")
+		maxDeadline  = flag.Duration("max-deadline", 0, "cap on client-declared deadlines (0 = default 60s)")
+		backoffBase  = flag.Duration("backoff", time.Millisecond, "base of the bounded exponential retry backoff")
+		backoffMax   = flag.Duration("backoff-max", 32*time.Millisecond, "cap of the retry backoff")
+		flightChunks = flag.Int("flight-chunks", 0, "flight-recorder ring size in sealed chunks per tenant (0 = default)")
+		flightDir    = flag.String("flight-dir", ".", "directory for flight-recorder dumps on abnormal exit")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "budget for draining in-flight batches on shutdown")
+		governWindow = flag.Int("govern-window", 0, "governor evaluation window in detections (0 = default)")
+	)
+	flag.Parse()
+
+	rcfg := janus.Config{
+		Threads:     *threads,
+		LearnOnline: *learn,
+		Backoff:     janus.Backoff{Base: *backoffBase, Max: *backoffMax},
+		Governor:    janus.GovernorConfig{Window: *governWindow},
+	}
+	switch *detector {
+	case "seq":
+		rcfg.Detection = janus.DetectSequence
+	case "ws":
+		rcfg.Detection = janus.DetectWriteSet
+	default:
+		log.Fatalf("janus-serve: unknown -detector %q (want seq or ws)", *detector)
+	}
+
+	srv := serve.NewServer(serve.Config{
+		Runner:           rcfg,
+		MaxTenants:       *maxTenants,
+		MaxInflight:      *maxInflight,
+		DegradedInflight: *degInflight,
+		TrippedShed:      *trippedShed,
+		RetryBudget:      *retryBudget,
+		DefaultDeadline:  *defDeadline,
+		MaxDeadline:      *maxDeadline,
+		FlightChunks:     *flightChunks,
+	})
+	serve.PublishVars("janus.serve", srv)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("janus-serve: listen %s: %v", *addr, err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	log.Printf("janus-serve: listening on %s (detector=%s threads=%d)", ln.Addr(), *detector, *threads)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-serveErr:
+		// The listener died out from under us: dump state and fail.
+		log.Printf("janus-serve: serve error: %v", err)
+		dumpFlight(srv, *flightDir)
+		os.Exit(1)
+	case sig := <-sigc:
+		log.Printf("janus-serve: %s: draining (budget %s)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("janus-serve: drain failed: %v; dumping flight recorders", err)
+		dumpFlight(srv, *flightDir)
+		os.Exit(1)
+	}
+	// In-flight work is done; close the listener and any idle or
+	// streaming connections. A straggling timeline follower must not
+	// outlive the drain budget, so fall back to a hard close.
+	sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		_ = hs.Close()
+	}
+	log.Printf("janus-serve: drained cleanly")
+}
+
+// dumpFlight writes every tenant's flight-recorder ring for post-mortem
+// replay; best-effort on the abnormal-exit path.
+func dumpFlight(s *serve.Server, dir string) {
+	paths, err := s.DumpFlight(dir)
+	if err != nil {
+		log.Printf("janus-serve: flight dump: %v", err)
+	}
+	for _, p := range paths {
+		fmt.Fprintf(os.Stderr, "janus-serve: flight recorder dumped to %s (replay with janus-replay)\n", p)
+	}
+}

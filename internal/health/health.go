@@ -554,7 +554,11 @@ var published struct {
 
 // Publish exports the governor's health snapshot under the expvar name
 // (default "janus.health"). Re-publishing under the same name atomically
-// swaps the underlying governor.
+// swaps the underlying governor. A name already registered with expvar by
+// someone else is left alone — the governor is still recorded so a later
+// swap works, but no second expvar.Publish runs; a long-lived process
+// publishing many per-tenant governors must never be able to crash on
+// expvar's duplicate-name panic.
 func Publish(name string, g *Governor) {
 	if name == "" {
 		name = "janus.health"
@@ -565,16 +569,18 @@ func Publish(name string, g *Governor) {
 		published.governors = make(map[string]*Governor)
 	}
 	if _, ok := published.governors[name]; !ok {
-		n := name
-		expvar.Publish(n, expvar.Func(func() any {
-			published.Lock()
-			gov := published.governors[n]
-			published.Unlock()
-			if gov == nil {
-				return nil
-			}
-			return gov.Vars()
-		}))
+		if expvar.Get(name) == nil {
+			n := name
+			expvar.Publish(n, expvar.Func(func() any {
+				published.Lock()
+				gov := published.governors[n]
+				published.Unlock()
+				if gov == nil {
+					return nil
+				}
+				return gov.Vars()
+			}))
+		}
 	}
 	published.governors[name] = g
 }

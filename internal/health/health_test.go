@@ -385,6 +385,30 @@ func TestVarsAndPublish(t *testing.T) {
 	}
 }
 
+// TestPublishForeignExpvarName: a name someone else already registered
+// with expvar directly (another package, a test, a user's own expvar.Func)
+// must not crash the process — expvar.Publish panics on duplicates, and a
+// daemon registering per-tenant governors cannot afford that. Publish must
+// detect the foreign registration, skip the second expvar.Publish, and
+// still record the governor for swap semantics.
+func TestPublishForeignExpvarName(t *testing.T) {
+	const name = "janus.health.foreign"
+	expvar.Publish(name, expvar.Func(func() any { return "foreign" }))
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Publish panicked on foreign expvar name: %v", r)
+		}
+	}()
+	g := NewGovernor(conflict.NewWriteSet(), nil, Config{})
+	Publish(name, g)
+	Publish(name, g) // second call exercises the recorded-name path too
+	// The foreign registration wins the expvar slot; Publish must not
+	// have replaced or broken it.
+	if v := expvar.Get(name); v == nil || !strings.Contains(v.String(), "foreign") {
+		t.Errorf("expvar %q = %v, want the original foreign registration", name, v)
+	}
+}
+
 // TestProbeGateSerializesProbes: concurrent degraded detections must never
 // let two probes race the primary's stats window (the gate makes losers
 // fall back); under -race this also proves the probe path is data-race

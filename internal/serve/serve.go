@@ -1,0 +1,612 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	janus "repro"
+	"repro/internal/health"
+)
+
+// Config parameterizes a Server. The zero value serves DefaultSchema
+// with sane production-shaped defaults.
+type Config struct {
+	// Schema declares the shared locations every tenant starts with;
+	// zero means DefaultSchema.
+	Schema Schema
+	// Runner is the per-tenant runner template. Govern and GovernPersist
+	// are forced on (admission control needs the live governor); Trace
+	// and Record are replaced with per-tenant instances.
+	Runner janus.Config
+	// MaxTenants bounds the tenant namespace; a new tenant past the
+	// bound is refused with 429 tenant_limit. 0 means 64.
+	MaxTenants int
+	// MaxInflight is the per-tenant admitted-but-unfinished cap while
+	// the tenant's governor is healthy. This is the bounded intake
+	// queue: request N+1 is shed with 429, never buffered. 0 means 32.
+	MaxInflight int
+	// DegradedInflight is the cap while degraded; 0 means
+	// max(1, MaxInflight/4).
+	DegradedInflight int
+	// TrippedShed sheds every submit with 503 while the governor is
+	// tripped. Off (default), a tripped tenant still admits one batch at
+	// a time — the governor forces serial execution internally, so the
+	// tenant makes progress at reduced throughput instead of hard-failing.
+	TrippedShed bool
+	// RetryBudget is the per-tenant speculation retry budget (the
+	// runner's MaxRetries) when the template leaves it unset: a batch
+	// whose transactions thrash past it fails fast with a retryable 503
+	// instead of burning the tenant's deadline on doomed speculation.
+	// 0 means 512 per task.
+	RetryBudget int
+	// DefaultDeadline bounds a batch that declares none; 0 means 10s.
+	// MaxDeadline caps client-declared deadlines; 0 means 60s.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// MaxBody caps a submit body in bytes; 0 means 8 MiB.
+	MaxBody int64
+	// FlightChunks bounds each tenant's flight-recorder ring (sealed
+	// chunks); 0 means 8.
+	FlightChunks int
+	// TraceLane sizes each tenant trace's per-worker ring; 0 uses the
+	// obs default.
+	TraceLane int
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Schema.Counters)+len(c.Schema.Stacks)+len(c.Schema.KVMaps) == 0 {
+		c.Schema = DefaultSchema()
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 64
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 32
+	}
+	if c.DegradedInflight <= 0 {
+		c.DegradedInflight = max(1, c.MaxInflight/4)
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 512
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 10 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 60 * time.Second
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 8 << 20
+	}
+	if c.FlightChunks <= 0 {
+		c.FlightChunks = 8
+	}
+	return c
+}
+
+// Server is the multi-tenant serving core: tenant registry, admission
+// control, request execution, and drain. It carries no listener — wrap
+// Handler in an http.Server (cmd/janus-serve) or httptest (the soak).
+type Server struct {
+	cfg    Config
+	schIdx map[string]locKind
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	// draining refuses new intake; guarded by mu together with wg.Add so
+	// Drain cannot race an admission past the flag.
+	draining bool
+	wg       sync.WaitGroup
+
+	// process-wide counters
+	submits    expvar.Int
+	sheds      expvar.Int
+	duplicates expvar.Int
+	rejected   expvar.Int
+}
+
+var errDuplicate = errors.New("serve: batch id already applied")
+
+// NewServer builds a serving core.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		schIdx:  cfg.Schema.index(),
+		tenants: make(map[string]*tenant),
+	}
+}
+
+// Schema returns the served schema (for oracle clients).
+func (s *Server) Schema() Schema { return s.cfg.Schema }
+
+// tenantFor returns the named tenant, creating it on first use, or nil
+// when the tenant table is full.
+func (s *Server) tenantFor(name string) *tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[name]; ok {
+		return t
+	}
+	if len(s.tenants) >= s.cfg.MaxTenants {
+		return nil
+	}
+	t := s.newTenant(name)
+	s.tenants[name] = t
+	return t
+}
+
+// lookup returns an existing tenant or nil (introspection endpoints do
+// not create tenants).
+func (s *Server) lookup(name string) *tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenants[name]
+}
+
+// admit checks the tenant's governor-driven admission window and claims
+// an in-flight slot. It returns the reply code to shed with ("" admits).
+//
+// The state machine: healthy admits up to MaxInflight concurrent batches
+// per tenant; degraded shrinks the window to DegradedInflight (the
+// governor has demoted detection — less speculation per tenant keeps the
+// fallback from thrashing); tripped serializes to one in-flight batch
+// (the governor is already forcing serial execution inside the runner)
+// or sheds outright under TrippedShed.
+func (s *Server) admit(t *tenant) string {
+	limit := int64(s.cfg.MaxInflight)
+	var code string
+	switch t.govState() {
+	case health.Degraded:
+		limit = int64(s.cfg.DegradedInflight)
+		code = CodeOverloaded
+	case health.Tripped:
+		if s.cfg.TrippedShed {
+			return CodeTripped
+		}
+		limit = 1
+		code = CodeTripped
+	default:
+		code = CodeOverloaded
+	}
+	for {
+		n := t.inflight.Load()
+		if n >= limit {
+			return code
+		}
+		if t.inflight.CompareAndSwap(n, n+1) {
+			return ""
+		}
+	}
+}
+
+// retryAfter derives the shed backoff hint from the runner template's
+// backoff configuration, doubling with the tenant's consecutive-shed
+// streak so sustained overload pushes clients out further (bounded by
+// the backoff ceiling).
+func (s *Server) retryAfter(t *tenant) time.Duration {
+	base := s.cfg.Runner.Backoff.Base
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	ceil := s.cfg.Runner.Backoff.Max
+	if ceil <= 0 {
+		ceil = 2 * time.Second
+	}
+	streak := t.shedStreak.Load()
+	if streak > 16 {
+		streak = 16
+	}
+	d := base << streak
+	if d > ceil || d <= 0 {
+		d = ceil
+	}
+	return d
+}
+
+// Handler returns the server's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/submit", s.handleSubmit)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/varz", expvar.Handler())
+	mux.HandleFunc("/statez", s.handleStatez)
+	mux.HandleFunc("/journalz", s.handleJournalz)
+	mux.HandleFunc("/timeline", s.handleTimeline)
+	return mux
+}
+
+// reply writes a JSON body with status.
+func reply(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// shed writes a typed retryable rejection with Retry-After.
+func (s *Server) shed(w http.ResponseWriter, t *tenant, status int, code, msg string) {
+	s.sheds.Add(1)
+	var after time.Duration
+	if t != nil {
+		t.shed.Add(1)
+		t.shedStreak.Add(1)
+		after = s.retryAfter(t)
+	} else {
+		after = 100 * time.Millisecond
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(int64((after+time.Second-1)/time.Second), 10))
+	reply(w, status, ErrorReply{Error: msg, Code: code, RetryAfterMS: after.Milliseconds()})
+}
+
+// tenantName resolves the request's tenant (header wins over query).
+func tenantName(r *http.Request) string {
+	if t := r.Header.Get("X-Janus-Tenant"); t != "" {
+		return t
+	}
+	return r.URL.Query().Get("tenant")
+}
+
+// handleSubmit is the intake path: drain gate, decode+validate, tenant
+// resolution, admission, deadline propagation, execution, status
+// mapping. Every rejection is typed; retryable ones carry Retry-After.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		reply(w, http.StatusMethodNotAllowed, ErrorReply{Error: "POST only", Code: CodeMethod})
+		return
+	}
+	s.submits.Add(1)
+
+	// Drain gate: the flag and the WaitGroup increment are one atomic
+	// step under mu, so Drain's wg.Wait covers every admitted request.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		s.shed(w, nil, http.StatusServiceUnavailable, CodeDraining, "server draining")
+		return
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+
+	name := tenantName(r)
+	if name == "" {
+		s.rejected.Add(1)
+		reply(w, http.StatusBadRequest, ErrorReply{Error: "tenant required (X-Janus-Tenant header or ?tenant=)", Code: CodeBadRequest})
+		return
+	}
+	b, err := decodeBatch(r, s.cfg.MaxBody)
+	if err != nil {
+		s.rejected.Add(1)
+		reply(w, http.StatusBadRequest, ErrorReply{Error: err.Error(), Code: CodeBadRequest})
+		return
+	}
+	tasks, err := compile(s.schIdx, b)
+	if err != nil {
+		s.rejected.Add(1)
+		reply(w, http.StatusBadRequest, ErrorReply{Error: err.Error(), Code: CodeBadRequest})
+		return
+	}
+	t := s.tenantFor(name)
+	if t == nil {
+		s.rejected.Add(1)
+		s.shed(w, nil, http.StatusTooManyRequests, CodeTenantLimit, "tenant table full")
+		return
+	}
+
+	if code := s.admit(t); code != "" {
+		status := http.StatusTooManyRequests
+		msg := "tenant in-flight window full"
+		if code == CodeTripped {
+			status = http.StatusServiceUnavailable
+			msg = "tenant governor tripped; shedding"
+		}
+		s.shed(w, t, status, code, msg)
+		return
+	}
+	defer t.inflight.Add(-1)
+	t.shedStreak.Store(0)
+
+	// Deadline propagation: the batch deadline (clamped) bounds queue
+	// wait plus the run, parented on the request context so a client
+	// disconnect cancels the run the same way.
+	d := s.cfg.DefaultDeadline
+	if b.DeadlineMS > 0 {
+		d = time.Duration(b.DeadlineMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+
+	res, err := t.runBatch(ctx, b, tasks)
+	if err != nil {
+		s.writeRunError(w, r, t, err)
+		return
+	}
+	reply(w, http.StatusOK, res)
+}
+
+// writeRunError maps a batch execution error to its typed reply.
+func (s *Server) writeRunError(w http.ResponseWriter, r *http.Request, t *tenant, err error) {
+	switch {
+	case errors.Is(err, errDuplicate):
+		s.duplicates.Add(1)
+		reply(w, http.StatusConflict, ErrorReply{Error: err.Error(), Code: CodeDuplicate})
+	case r.Context().Err() != nil:
+		// The client went away (or its own deadline fired): the batch was
+		// not applied; nobody is reading, but keep the accounting honest.
+		t.failed.Add(1)
+		reply(w, StatusCanceled, ErrorReply{Error: "client canceled", Code: CodeCanceled})
+	case errors.Is(err, context.DeadlineExceeded):
+		t.failed.Add(1)
+		s.shed(w, t, http.StatusGatewayTimeout, CodeDeadline, "batch deadline exceeded; state unchanged")
+	case errors.Is(err, context.Canceled):
+		t.failed.Add(1)
+		reply(w, StatusCanceled, ErrorReply{Error: "canceled", Code: CodeCanceled})
+	default:
+		var rle *janus.RetryLimitError
+		if errors.As(err, &rle) {
+			// Speculation starved: congestion, not a workload fault.
+			t.failed.Add(1)
+			s.shed(w, t, http.StatusServiceUnavailable, CodeRetryExhausted,
+				fmt.Sprintf("task %d exhausted its retry budget (%d); state unchanged", rle.Task, rle.Retries))
+			return
+		}
+		t.failed.Add(1)
+		reply(w, http.StatusUnprocessableEntity, ErrorReply{Error: err.Error(), Code: CodeBatchFailed})
+	}
+}
+
+// HealthReply is the /healthz body.
+type HealthReply struct {
+	Status  string                  `json:"status"` // ok | draining
+	Tenants map[string]TenantHealth `json:"tenants"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	ts := make(map[string]*tenant, len(s.tenants))
+	for n, t := range s.tenants {
+		ts[n] = t
+	}
+	s.mu.Unlock()
+	rep := HealthReply{Status: "ok", Tenants: make(map[string]TenantHealth, len(ts))}
+	status := http.StatusOK
+	if draining {
+		rep.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	for n, t := range ts {
+		rep.Tenants[n] = t.snapshot()
+	}
+	reply(w, status, rep)
+}
+
+// StateReply is the /statez body: the tenant's committed digest and
+// applied count — what the oracle compares against.
+type StateReply struct {
+	Tenant  string `json:"tenant"`
+	Digest  string `json:"digest"`
+	Applied int64  `json:"applied"`
+	// Values are the committed counter values (string-rendered), a
+	// human-readable spot check alongside the digest.
+	Values map[string]string `json:"values,omitempty"`
+}
+
+func (s *Server) handleStatez(w http.ResponseWriter, r *http.Request) {
+	t := s.lookup(tenantName(r))
+	if t == nil {
+		reply(w, http.StatusNotFound, ErrorReply{Error: "unknown tenant", Code: CodeUnknownTenant})
+		return
+	}
+	snap := t.snapshot()
+	t.mu.Lock()
+	st := t.st
+	t.mu.Unlock()
+	vals := make(map[string]string, len(s.cfg.Schema.Counters))
+	for _, c := range s.cfg.Schema.Counters {
+		vals[c] = stateVal(st, c)
+	}
+	reply(w, http.StatusOK, StateReply{
+		Tenant: t.name, Digest: snap.Digest, Applied: snap.Applied, Values: vals,
+	})
+}
+
+// JournalReply is the /journalz body: applied batch IDs in commit order
+// (bounded to the most recent journalCap entries).
+type JournalReply struct {
+	Tenant  string   `json:"tenant"`
+	Applied int64    `json:"applied"`
+	IDs     []string `json:"ids"`
+}
+
+func (s *Server) handleJournalz(w http.ResponseWriter, r *http.Request) {
+	t := s.lookup(tenantName(r))
+	if t == nil {
+		reply(w, http.StatusNotFound, ErrorReply{Error: "unknown tenant", Code: CodeUnknownTenant})
+		return
+	}
+	t.mu.Lock()
+	ids := append([]string(nil), t.journal...)
+	applied := t.applied
+	t.mu.Unlock()
+	reply(w, http.StatusOK, JournalReply{Tenant: t.name, Applied: applied, IDs: ids})
+}
+
+// handleTimeline streams the tenant's protocol timeline as NDJSON,
+// reusing the per-tenant obs trace. One shot by default; with ?follow=1
+// it long-polls the trace until the client disconnects, emitting only
+// events newer than the last cursor.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	t := s.lookup(tenantName(r))
+	if t == nil {
+		reply(w, http.StatusNotFound, ErrorReply{Error: "unknown tenant", Code: CodeUnknownTenant})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	fl, _ := w.(http.Flusher)
+	var cursor int64 = -1
+	emit := func() {
+		evs := t.trace.Events()
+		sort.Slice(evs, func(i, j int) bool { return evs[i].When < evs[j].When })
+		for _, ev := range evs {
+			if ev.When <= cursor {
+				continue
+			}
+			cursor = ev.When
+			_ = enc.Encode(map[string]any{
+				"type": ev.Type.String(), "when_ns": ev.When, "dur_ns": ev.Dur,
+				"worker": ev.Worker, "task": ev.Task, "attempt": ev.Attempt,
+				"reason": ev.Reason, "loc": ev.Loc, "detail": ev.Detail,
+			})
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	emit()
+	if r.URL.Query().Get("follow") == "" {
+		return
+	}
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+			emit()
+		}
+	}
+}
+
+// Drain stops intake and waits for every in-flight request to finish,
+// bounded by ctx. On a clean drain it returns nil; on timeout it returns
+// ctx's error with in-flight work still running (the caller dumps flight
+// recorders and exits abnormally).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain timed out: %w", context.Cause(ctx))
+	}
+}
+
+// Draining reports whether intake is stopped.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// DumpFlight writes every tenant's flight-recorder ring into dir as
+// flight-<tenant>.jtrace, returning the paths written. Called on
+// abnormal exit (drain timeout, governor trip at shutdown) so the last
+// window of committed traffic survives for janus-replay.
+func (s *Server) DumpFlight(dir string) ([]string, error) {
+	s.mu.Lock()
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	s.mu.Unlock()
+	var paths []string
+	var firstErr error
+	for _, t := range ts {
+		t.mu.Lock()
+		t.rec.Close(t.st)
+		t.mu.Unlock()
+		p := filepath.Join(dir, "flight-"+t.name+".jtrace")
+		if err := t.rec.WriteFile(p); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		paths = append(paths, p)
+	}
+	return paths, firstErr
+}
+
+// Vars returns the server's expvar-shaped snapshot; cmd/janus-serve
+// publishes it as "janus.serve".
+func (s *Server) Vars() map[string]any {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.tenants))
+	ts := make(map[string]*tenant, len(s.tenants))
+	for n, t := range s.tenants {
+		names = append(names, n)
+		ts[n] = t
+	}
+	draining := s.draining
+	s.mu.Unlock()
+	sort.Strings(names)
+	tenants := make(map[string]any, len(names))
+	for _, n := range names {
+		tenants[n] = ts[n].snapshot()
+	}
+	return map[string]any{
+		"draining":   draining,
+		"submits":    s.submits.Value(),
+		"sheds":      s.sheds.Value(),
+		"duplicates": s.duplicates.Value(),
+		"rejected":   s.rejected.Value(),
+		"tenants":    tenants,
+	}
+}
+
+// publishedVars guards process-wide expvar registration exactly like
+// health.Publish: tests build many servers in one process, and expvar
+// panics on duplicate names.
+var publishedVars struct {
+	sync.Mutex
+	servers map[string]*Server
+}
+
+// PublishVars exports the server's snapshot under the expvar name
+// (default "janus.serve"); re-publishing swaps the source server.
+func PublishVars(name string, s *Server) {
+	if name == "" {
+		name = "janus.serve"
+	}
+	publishedVars.Lock()
+	defer publishedVars.Unlock()
+	if publishedVars.servers == nil {
+		publishedVars.servers = make(map[string]*Server)
+	}
+	if _, ok := publishedVars.servers[name]; !ok && expvar.Get(name) == nil {
+		n := name
+		expvar.Publish(n, expvar.Func(func() any {
+			publishedVars.Lock()
+			srv := publishedVars.servers[n]
+			publishedVars.Unlock()
+			if srv == nil {
+				return nil
+			}
+			return srv.Vars()
+		}))
+	}
+	publishedVars.servers[name] = s
+}

@@ -1,0 +1,440 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	janus "repro"
+	"repro/internal/chaos"
+	"repro/internal/health"
+	"repro/internal/rec"
+)
+
+// TestChaosServiceSoak is the service-layer soak the tentpole demands:
+// three tenants, concurrent clients per tenant, and a seeded service
+// injector mixing client disconnects mid-request, deadline storms, and
+// slow-tenant batches into honest traffic, against a deliberately tight
+// admission window. The invariants:
+//
+//   - shed-don't-stall: overload produces typed retryable 429/503
+//     replies, never unbounded queueing or a wedged server;
+//   - exactly-once: no accepted batch is lost or applied twice — every
+//     batch a client saw accepted (200 or 409-on-retry) appears in the
+//     tenant journal exactly once, and the committed state digest equals
+//     the sequential oracle's replay of the journal;
+//   - clean drain: after the storm, Drain completes and no goroutines
+//     leak.
+//
+// The fault schedule is a pure function of the seed: a failure
+// reproduces by rerunning the test.
+func TestChaosServiceSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipping under -short")
+	}
+	leakCheck(t, func() {
+		srv := NewServer(Config{
+			Runner:          testRunner(),
+			MaxInflight:     2,
+			DefaultDeadline: 5 * time.Second,
+		})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		client := ts.Client()
+
+		inj := chaos.NewService(chaos.ServiceConfig{
+			Seed:           20260808,
+			DisconnectProb: 0.08,
+			DeadlineProb:   0.12,
+			TinyDeadline:   time.Millisecond,
+			SlowProb:       0.10,
+			SlowWork:       150_000,
+		})
+
+		tenants := []string{"alpha", "beta", "gamma"}
+		const clientsPerTenant = 6
+		const batchesPerClient = 10
+
+		// batchByID holds every batch any client sent, for oracle replay.
+		var batchMu sync.Mutex
+		batchByID := make(map[string]map[string]*Batch) // tenant -> id -> batch
+		for _, tn := range tenants {
+			batchByID[tn] = make(map[string]*Batch)
+		}
+		// accepted[tenant] is the set of IDs clients saw accepted.
+		accepted := make(map[string]map[string]bool)
+		for _, tn := range tenants {
+			accepted[tn] = make(map[string]bool)
+		}
+
+		// mkBatch builds a deterministic mixed batch; slowWork > 0 pads
+		// every task with spin (the slow-tenant storm).
+		mkBatch := func(tenant string, cl, seq int, slowWork int64) *Batch {
+			id := fmt.Sprintf("%s-c%d-b%d", tenant, cl, seq)
+			b := &Batch{ID: id}
+			for task := 0; task < 4; task++ {
+				ops := []OpSpec{}
+				if slowWork > 0 {
+					ops = append(ops, OpSpec{Op: "work", Delta: slowWork})
+				}
+				switch task % 4 {
+				case 0:
+					ops = append(ops,
+						OpSpec{Op: "add", Loc: "c0", Delta: int64(cl*100 + seq)},
+						OpSpec{Op: "push", Loc: "stk", Delta: int64(seq)})
+				case 1:
+					ops = append(ops,
+						OpSpec{Op: "put", Loc: "kv", Key: fmt.Sprintf("k-%d-%d", cl, seq), Val: id},
+						OpSpec{Op: "add", Loc: "c1", Delta: 1})
+				case 2:
+					ops = append(ops,
+						OpSpec{Op: "load", Loc: "c0"},
+						OpSpec{Op: "sub", Loc: "c2", Delta: int64(seq)})
+				default:
+					ops = append(ops,
+						OpSpec{Op: "get", Loc: "kv", Key: fmt.Sprintf("k-%d-%d", cl, seq)},
+						OpSpec{Op: "add", Loc: "c3", Delta: 2})
+				}
+				b.Tasks = append(b.Tasks, TaskSpec{Ops: ops})
+			}
+			return b
+		}
+
+		var wg sync.WaitGroup
+		var statMu sync.Mutex
+		var sheds, deadlineMisses, disconnects, gaveUp int
+		for _, tn := range tenants {
+			for cl := 0; cl < clientsPerTenant; cl++ {
+				wg.Add(1)
+				go func(tenant string, cl int) {
+					defer wg.Done()
+					for seq := 0; seq < batchesPerClient; seq++ {
+						slowWork, _ := inj.SlowBatch(tenant, cl*batchesPerClient+seq)
+						b := mkBatch(tenant, cl, seq, slowWork)
+						if d, storm := inj.Deadline(tenant, cl*batchesPerClient+seq); storm {
+							b.DeadlineMS = d.Milliseconds()
+							if b.DeadlineMS <= 0 {
+								b.DeadlineMS = 1
+							}
+						}
+						batchMu.Lock()
+						batchByID[tenant][b.ID] = b
+						batchMu.Unlock()
+
+						ok := false
+						for attempt := 0; attempt < 60 && !ok; attempt++ {
+							body, _ := json.Marshal(b)
+							req, _ := http.NewRequest(http.MethodPost,
+								ts.URL+"/submit?tenant="+tenant, bytes.NewReader(body))
+							ctx := context.Background()
+							var cancel context.CancelFunc
+							if attempt == 0 && inj.Disconnect(tenant, cl*batchesPerClient+seq) {
+								// Client hangs up ~1ms into the request.
+								ctx, cancel = context.WithTimeout(ctx, time.Millisecond)
+								statMu.Lock()
+								disconnects++
+								statMu.Unlock()
+							}
+							req = req.WithContext(ctx)
+							resp, err := client.Do(req)
+							if cancel != nil {
+								cancel()
+							}
+							if err != nil {
+								// Disconnect fired (or transport hiccup): outcome
+								// unknown; retry resolves it (409 = applied).
+								time.Sleep(2 * time.Millisecond)
+								continue
+							}
+							var er ErrorReply
+							code := resp.StatusCode
+							if code != http.StatusOK {
+								_ = json.NewDecoder(resp.Body).Decode(&er)
+							}
+							resp.Body.Close()
+							switch code {
+							case http.StatusOK, http.StatusConflict:
+								// 200 applied now; 409 applied by an earlier
+								// attempt whose reply was lost. Both accepted.
+								ok = true
+							case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+								if er.Code == "" || er.RetryAfterMS < 0 {
+									t.Errorf("untyped shed reply: %+v", er)
+								}
+								statMu.Lock()
+								sheds++
+								statMu.Unlock()
+								wait := time.Duration(er.RetryAfterMS) * time.Millisecond
+								if wait > 10*time.Millisecond {
+									wait = 10 * time.Millisecond
+								}
+								time.Sleep(wait)
+							case http.StatusGatewayTimeout:
+								statMu.Lock()
+								deadlineMisses++
+								statMu.Unlock()
+								// Deadline-storm batch: drop the storm deadline
+								// and retry sanely.
+								b.DeadlineMS = 0
+							case StatusCanceled:
+								time.Sleep(2 * time.Millisecond)
+							default:
+								t.Errorf("unexpected status %d (%+v) for %s", code, er, b.ID)
+								return
+							}
+						}
+						statMu.Lock()
+						if ok {
+							// accepted is shared with the verification pass
+							// below; guarded by statMu.
+							accepted[tenant][b.ID] = true
+						} else {
+							gaveUp++
+						}
+						statMu.Unlock()
+					}
+				}(tn, cl)
+			}
+		}
+		wg.Wait()
+
+		// Drain must complete promptly now that clients are done.
+		dctx, dcancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer dcancel()
+		if err := srv.Drain(dctx); err != nil {
+			t.Fatalf("drain after soak: %v", err)
+		}
+
+		// Exactly-once + oracle digest, per tenant.
+		for _, tn := range tenants {
+			var j JournalReply
+			getJSON(t, client, ts.URL+"/journalz?tenant="+tn, &j)
+			var st StateReply
+			getJSON(t, client, ts.URL+"/statez?tenant="+tn, &st)
+
+			seen := make(map[string]bool, len(j.IDs))
+			for _, id := range j.IDs {
+				if seen[id] {
+					t.Fatalf("tenant %s: batch %s applied twice", tn, id)
+				}
+				seen[id] = true
+				if batchByID[tn][id] == nil {
+					t.Fatalf("tenant %s: journal has unknown batch %s", tn, id)
+				}
+			}
+			if int64(len(j.IDs)) != j.Applied || j.Applied != st.Applied {
+				t.Fatalf("tenant %s: journal %d applied %d statez %d", tn, len(j.IDs), j.Applied, st.Applied)
+			}
+			for id := range accepted[tn] {
+				if !seen[id] {
+					t.Fatalf("tenant %s: accepted batch %s lost from journal", tn, id)
+				}
+			}
+			// Sequential-oracle digest over the journal order.
+			oracle := InitialState(srv.Schema())
+			for _, id := range j.IDs {
+				var err error
+				oracle, err = ApplySequential(oracle, srv.Schema(), batchByID[tn][id])
+				if err != nil {
+					t.Fatalf("tenant %s: oracle replay of %s: %v", tn, id, err)
+				}
+			}
+			if want := rec.FormatDigest(rec.Digest(oracle)); st.Digest != want {
+				t.Fatalf("tenant %s: state digest %s != oracle %s (%d applied)", tn, st.Digest, want, st.Applied)
+			}
+		}
+
+		// The storm must actually have exercised the shed and fault paths.
+		if sheds == 0 {
+			t.Error("soak produced no sheds; admission window never saturated")
+		}
+		if s := inj.Stats(); s.Deadlines == 0 || s.Disconnects == 0 || s.SlowBatches == 0 {
+			t.Errorf("injector idle: %+v", s)
+		}
+		if gaveUp > 0 {
+			t.Logf("note: %d batches gave up after retries (allowed; not lost — never accepted)", gaveUp)
+		}
+		t.Logf("soak: sheds=%d deadlineMisses=%d disconnects=%d gaveUp=%d injector=%+v",
+			sheds, deadlineMisses, disconnects, gaveUp, inj.Stats())
+		ts.Close()
+		client.CloseIdleConnections()
+	})
+}
+
+// TestChaosGovernorTripFlipsAdmission drives one tenant's governor
+// through its full cycle with real contention and asserts the admission
+// mode visibly flips at each stage:
+//
+//   - storm batches of stack pushes behind long spins conflict under
+//     speculation AND are unprovable for the commutativity cache, so
+//     windows demote, probes stay dirty, and the governor trips;
+//   - while tripped the admission window is one and the excess sheds
+//     with typed retryable 503s;
+//   - recovery traffic of counter adds (provably commutative, so probes
+//     come back clean) restores the governor to healthy.
+//
+// The spin per task is sized well past the Go scheduler's preemption
+// quantum so speculative windows genuinely overlap even on GOMAXPROCS=1
+// — short tasks on a single P run to completion unpreempted and never
+// conflict at all.
+func TestChaosGovernorTripFlipsAdmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipping under -short")
+	}
+	const spin = 6_000_000 // ~15ms here; must exceed the ~10ms preemption quantum
+
+	rcfg := testRunner()
+	rcfg.Detection = janus.DetectSequence
+	rcfg.LearnOnline = true // probes can turn clean once shapes are proven
+	var trips, restores atomic.Int64
+	rcfg.Governor = janus.GovernorConfig{
+		Window:          20,
+		DemoteMissRate:  1.1, // only abort rates demote in this test
+		DemoteAbortRate: 0.10,
+		TripAbortRate:   0.25,
+		TripWindows:     1,
+		ProbeEvery:      4,
+		RestoreProbes:   2,
+		RecoverCommits:  48,
+		OnTransition: func(from, to health.State, detail string) {
+			if to == health.Tripped {
+				trips.Add(1)
+			}
+			if to < from {
+				restores.Add(1)
+			}
+		},
+	}
+	sch := Schema{
+		Counters: []string{"c1", "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7"},
+		Stacks:   []string{"stk"},
+	}
+	srv := NewServer(Config{Runner: rcfg, Schema: sch, MaxInflight: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	// Storm batch: every task pushes a distinct value behind a long spin.
+	// Overlapping pushes conflict under the write-set fallback, and their
+	// unbalanced stack shapes are unprovable (CondNone), so degraded-mode
+	// probes stay fallback-heavy (dirty) instead of restoring healthy.
+	storm := func(id string, salt, tasks int, work int64) *Batch {
+		b := &Batch{ID: id}
+		for i := 0; i < tasks; i++ {
+			b.Tasks = append(b.Tasks, TaskSpec{Ops: []OpSpec{
+				{Op: "work", Delta: work},
+				{Op: "push", Loc: "stk", Delta: int64(salt*64 + i)},
+			}})
+		}
+		return b
+	}
+
+	// Phase 1: hammer until the governor trips (bounded budget).
+	tripped := false
+	deadline := time.Now().Add(60 * time.Second)
+	for i := 0; !tripped && time.Now().Before(deadline); i++ {
+		postBatch(t, c, ts.URL, "stormy", storm(fmt.Sprintf("storm-%d", i), i, 8, spin), nil)
+		tn := srv.lookup("stormy")
+		if tn == nil {
+			t.Fatal("tenant missing")
+		}
+		if tn.govState() == health.Tripped {
+			tripped = true
+		}
+	}
+	if !tripped {
+		g := srv.lookup("stormy").runner.Governor()
+		t.Fatalf("governor never tripped under the conflict storm: %+v", g.Stats())
+	}
+
+	// Phase 2: while tripped the admission window is one; submits racing
+	// a slow in-flight batch shed with the typed tripped 503. The racers
+	// are tiny so any that land while the slot is free stay cheap.
+	var shedErr ErrorReply
+	var shedCode int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postBatch(t, c, ts.URL, "stormy", storm("occupy", 999, 8, 20_000_000), nil)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the occupier take the slot
+	for i := 0; i < 50; i++ {
+		racer := &Batch{ID: fmt.Sprintf("race-%d", i), Tasks: []TaskSpec{
+			{Ops: []OpSpec{{Op: "add", Loc: "r0", Delta: 1}}},
+		}}
+		var e ErrorReply
+		code, _ := postBatch(t, c, ts.URL, "stormy", racer, &e)
+		if code == http.StatusServiceUnavailable && e.Code == CodeTripped {
+			shedCode, shedErr = code, e
+			break
+		}
+	}
+	wg.Wait()
+	if shedCode != http.StatusServiceUnavailable {
+		t.Fatalf("tripped tenant never shed with 503/tripped")
+	}
+	if shedErr.RetryAfterMS <= 0 {
+		t.Errorf("tripped shed carries no retry hint: %+v", shedErr)
+	}
+
+	// Phase 3: recovery traffic — mostly disjoint counter adds plus a
+	// pair of overlapping c1 adds. Tripped batches run serially and drain
+	// the recovery budget; back in degraded, the overlapping adds give
+	// probes informative pair queries that the now-proven CondAlways add
+	// shapes answer cleanly, restoring healthy. The overlap fraction is
+	// kept small so degraded windows stay under the trip threshold.
+	recovered := false
+	deadline = time.Now().Add(60 * time.Second)
+	for i := 0; !recovered && time.Now().Before(deadline); i++ {
+		clean := &Batch{ID: fmt.Sprintf("clean-%d", i)}
+		for task := 0; task < 2; task++ {
+			clean.Tasks = append(clean.Tasks, TaskSpec{Ops: []OpSpec{
+				{Op: "work", Delta: spin},
+				{Op: "add", Loc: "c1", Delta: 1},
+			}})
+		}
+		for task := 0; task < 8; task++ {
+			clean.Tasks = append(clean.Tasks, TaskSpec{Ops: []OpSpec{
+				{Op: "work", Delta: spin},
+				{Op: "add", Loc: fmt.Sprintf("r%d", task), Delta: 1},
+			}})
+		}
+		code, _ := postBatch(t, c, ts.URL, "stormy", clean, nil)
+		if code != http.StatusOK && code != http.StatusServiceUnavailable && code != http.StatusTooManyRequests {
+			t.Fatalf("clean batch status %d", code)
+		}
+		if srv.lookup("stormy").govState() == health.Healthy {
+			recovered = true
+		}
+	}
+	if !recovered {
+		g := srv.lookup("stormy").runner.Governor()
+		t.Fatalf("governor never recovered to healthy on clean traffic: %+v", g.Stats())
+	}
+
+	// The cycle is visible in the transition history and /healthz.
+	if trips.Load() == 0 {
+		t.Error("no trip transition observed")
+	}
+	if restores.Load() == 0 {
+		t.Error("no restore transition observed")
+	}
+	var h HealthReply
+	getJSON(t, c, ts.URL+"/healthz", &h)
+	if h.Tenants["stormy"].Health != "healthy" {
+		t.Errorf("healthz after recovery = %+v", h.Tenants["stormy"])
+	}
+	if h.Tenants["stormy"].Shed == 0 {
+		t.Errorf("no sheds recorded across the trip cycle")
+	}
+	g := srv.lookup("stormy").runner.Governor()
+	t.Logf("trip cycle: trips=%d restores=%d stats=%+v", trips.Load(), restores.Load(), g.Stats())
+}

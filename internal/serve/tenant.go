@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	janus "repro"
+	"repro/internal/health"
+	"repro/internal/rec"
+)
+
+// tenant is one client namespace: its own Runner (own spec cache handle
+// and persistent governor), its own committed state, its own flight
+// recorder and trace, and its own admission counters. Nothing a tenant
+// does — thrash its governor, wedge on its deadline, flood its queue —
+// touches another tenant's runner or state.
+type tenant struct {
+	name   string
+	runner *janus.Runner
+	trace  *janus.Trace
+	rec    *rec.Recorder
+
+	// gate serializes batch application per tenant: batches are atomic
+	// state transitions, so two cannot interleave. Waiters are bounded by
+	// admission (inflight cap), never unbounded.
+	gate chan struct{}
+
+	// mu guards the committed state and the applied-batch journal.
+	mu      sync.Mutex
+	st      *janus.State
+	applied int64
+	journal []string
+	// seen marks applied batch IDs for duplicate refusal. Failed batches
+	// are removed so the client can retry the same ID.
+	seen map[string]struct{}
+
+	// inflight counts admitted-but-unfinished submits; admission caps it
+	// per governor state.
+	inflight atomic.Int64
+	// shedStreak counts consecutive sheds; Retry-After scales with it so
+	// a persistently overloaded tenant's clients spread further out.
+	shedStreak atomic.Int64
+
+	// counters for /healthz and /varz
+	accepted  atomic.Int64 // batches applied
+	shed      atomic.Int64 // typed 429/503 rejections
+	failed    atomic.Int64 // batch_failed / deadline / canceled outcomes
+	retries   atomic.Int64 // cumulative run retries
+	commits   atomic.Int64 // cumulative task commits
+	runNanos  atomic.Int64 // cumulative run wall time
+	lastState atomic.Int64 // last observed governor state (health.State)
+}
+
+// newTenant builds a tenant from the server's runner template. The
+// runner gets a persistent governor (admission reads its live state), a
+// per-tenant flight recorder as its commit sink, and a per-tenant trace
+// feeding the timeline endpoint.
+func (s *Server) newTenant(name string) *tenant {
+	t := &tenant{
+		name: name,
+		gate: make(chan struct{}, 1),
+		st:   InitialState(s.cfg.Schema),
+		seen: make(map[string]struct{}),
+	}
+	cfg := s.cfg.Runner
+	cfg.Govern = true
+	cfg.GovernPersist = true
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = s.cfg.RetryBudget
+	}
+	t.trace = janus.NewTrace(s.cfg.TraceLane)
+	cfg.Trace = t.trace
+	t.rec = rec.New(rec.Meta{
+		Workload: "serve:" + name,
+		Detector: cfg.Detection.String(),
+		Ordered:  true,
+		Threads:  cfg.Threads,
+	}, t.st, rec.Options{FlightChunks: s.cfg.FlightChunks})
+	cfg.Record = t.rec
+	t.runner = janus.New(cfg)
+	if g := t.runner.Governor(); g != nil {
+		health.Publish("janus.health."+name, g)
+	}
+	return t
+}
+
+// govState reads the tenant governor's live state.
+func (t *tenant) govState() health.State {
+	g := t.runner.Governor()
+	if g == nil {
+		return health.Healthy
+	}
+	st := g.State()
+	t.lastState.Store(int64(st))
+	return st
+}
+
+// acquire takes the tenant's run gate, giving up when ctx expires (the
+// batch deadline covers queue wait, not just the run).
+func (t *tenant) acquire(ctx context.Context) error {
+	select {
+	case t.gate <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+func (t *tenant) release() { <-t.gate }
+
+// runBatch applies one compiled batch atomically: run from the current
+// committed state with ordered commits, and only on full success swap
+// the tenant state and append the journal entry. Any error — deadline,
+// task failure, retry exhaustion — leaves state, journal, and seen-set
+// exactly as before, so the client can safely retry the same batch ID.
+func (t *tenant) runBatch(ctx context.Context, b *Batch, tasks []janus.Task) (*BatchResult, error) {
+	if err := t.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer t.release()
+
+	t.mu.Lock()
+	if _, dup := t.seen[b.ID]; dup {
+		t.mu.Unlock()
+		return nil, errDuplicate
+	}
+	base := t.st
+	t.mu.Unlock()
+
+	start := time.Now()
+	final, stats, err := t.runner.RunInOrderCtx(ctx, base, tasks)
+	elapsed := time.Since(start)
+	t.runNanos.Add(int64(elapsed))
+	t.retries.Add(stats.Run.Retries)
+	if err != nil {
+		return nil, err
+	}
+	t.commits.Add(stats.Run.Commits)
+
+	t.mu.Lock()
+	t.st = final
+	t.applied++
+	applied := t.applied
+	t.journal = append(t.journal, b.ID)
+	if n := len(t.journal); n > journalCap {
+		// Bound the in-memory journal; the count and digest remain exact.
+		t.journal = append(t.journal[:0], t.journal[n-journalCap:]...)
+	}
+	t.seen[b.ID] = struct{}{}
+	digest := rec.FormatDigest(rec.Digest(final))
+	t.mu.Unlock()
+
+	t.accepted.Add(1)
+	res := &BatchResult{
+		ID:        b.ID,
+		Tenant:    t.name,
+		Tasks:     len(tasks),
+		Commits:   stats.Run.Commits,
+		Retries:   stats.Run.Retries,
+		Digest:    digest,
+		Applied:   applied,
+		Health:    t.govState().String(),
+		ElapsedMS: elapsed.Milliseconds(),
+	}
+	return res, nil
+}
+
+// journalCap bounds the retained applied-ID journal per tenant. The
+// seen-set still grows with distinct accepted IDs (exactly-once refusal
+// must outlive the journal window); a production deployment would age it
+// with a TTL, which the soak's horizons never reach.
+const journalCap = 65536
+
+// snapshot reads the tenant's introspection view for /healthz.
+func (t *tenant) snapshot() TenantHealth {
+	t.mu.Lock()
+	applied := t.applied
+	journalLen := len(t.journal)
+	digest := rec.FormatDigest(rec.Digest(t.st))
+	t.mu.Unlock()
+	return TenantHealth{
+		Health:     t.govState().String(),
+		Inflight:   t.inflight.Load(),
+		Applied:    applied,
+		JournalLen: int64(journalLen),
+		Digest:     digest,
+		Accepted:   t.accepted.Load(),
+		Shed:       t.shed.Load(),
+		Failed:     t.failed.Load(),
+		Commits:    t.commits.Load(),
+		Retries:    t.retries.Load(),
+	}
+}
+
+// TenantHealth is one tenant's row in the /healthz reply.
+type TenantHealth struct {
+	Health     string `json:"health"`
+	Inflight   int64  `json:"inflight"`
+	Applied    int64  `json:"applied"`
+	JournalLen int64  `json:"journal_len,omitempty"`
+	Digest     string `json:"digest"`
+	Accepted   int64  `json:"accepted"`
+	Shed       int64  `json:"shed"`
+	Failed     int64  `json:"failed"`
+	Commits    int64  `json:"commits"`
+	Retries    int64  `json:"retries"`
+}

@@ -162,6 +162,18 @@ func TestMaxRetriesFailurePath(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), "exceeded 5 retries") {
 			t.Fatalf("err = %v, want exceeded-retries failure", err)
 		}
+		// The failure is typed: callers distinguish retry exhaustion
+		// (retryable congestion) from task-body errors via errors.As.
+		var rle *RetryLimitError
+		if !errors.As(err, &rle) {
+			t.Fatalf("err = %v, want *RetryLimitError", err)
+		}
+		if rle.Retries != maxRetries {
+			t.Errorf("RetryLimitError.Retries = %d, want %d", rle.Retries, maxRetries)
+		}
+		if rle.Task != 1 && rle.Task != 2 {
+			t.Errorf("RetryLimitError.Task = %d, want 1 or 2", rle.Task)
+		}
 		if stats.Retries < maxRetries {
 			t.Errorf("Retries = %d, want >= %d", stats.Retries, maxRetries)
 		}

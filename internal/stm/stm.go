@@ -410,6 +410,22 @@ func RunCtx(ctx context.Context, cfg Config, initial *state.State, tasks []adt.T
 	return r.run(tasks)
 }
 
+// RetryLimitError is what a run fails with when one transaction exhausts
+// Config.MaxRetries: the task id and the retry count it hit. It is
+// distinct from a task-body error — the task itself never failed, the
+// liveness guard cut off its speculation — so callers (status mapping in
+// a serving layer, retry policies) can treat it as retryable congestion
+// rather than a permanent workload fault. Unwrap it with errors.As.
+type RetryLimitError struct {
+	Task    int // transaction id
+	Retries int // aborted attempts when the guard fired (== Config.MaxRetries)
+}
+
+// Error implements error, preserving the historical message shape.
+func (e *RetryLimitError) Error() string {
+	return fmt.Sprintf("task %d exceeded %d retries", e.Task, e.Retries)
+}
+
 // PanicError is what a recovered task panic converts to: the task id, the
 // panic value, and the goroutine stack captured at the panic site. One
 // panicking task fails the run with this error instead of tearing down
@@ -612,7 +628,7 @@ func (r *Runtime) runTask(task adt.Task, tid, worker int) {
 		atomic.AddInt64(&r.stats.Retries, 1)
 		retries++
 		if r.cfg.MaxRetries > 0 && retries >= r.cfg.MaxRetries {
-			r.fail(fmt.Errorf("stm: task %d exceeded %d retries", tid, r.cfg.MaxRetries))
+			r.fail(fmt.Errorf("stm: %w", &RetryLimitError{Task: tid, Retries: retries}))
 			return
 		}
 		if wait := r.cfg.Backoff.wait(tid, retries); wait > 0 {

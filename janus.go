@@ -40,6 +40,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"sync"
 
 	"repro/internal/adt"
 	"repro/internal/cache"
@@ -105,6 +106,16 @@ type (
 	// panic site. A panicking task fails the run with this error instead
 	// of crashing the process; unwrap it with errors.As.
 	PanicError = stm.PanicError
+	// RetryLimitError is what a run fails with when one transaction
+	// exhausts Config.MaxRetries. It marks retryable congestion — the
+	// task body never failed, the liveness guard cut off its
+	// speculation — so serving layers map it to "try again later"
+	// rather than a permanent workload fault; unwrap it with errors.As.
+	RetryLimitError = stm.RetryLimitError
+	// CommitSink receives every committed transaction's operation log in
+	// commit order (see Config.Record and internal/rec for the standard
+	// implementation).
+	CommitSink = stm.CommitSink
 	// OplogBudgetError is what a transaction's Exec returns — and the run
 	// fails with — once one task's operation log exceeds Config.MaxTxnOps;
 	// unwrap it with errors.As.
@@ -297,6 +308,13 @@ type Config struct {
 	// Governor tunes the Govern state machine; the zero value uses the
 	// internal/health defaults.
 	Governor GovernorConfig
+	// GovernPersist keeps one health governor alive across every run of
+	// this Runner instead of building a fresh one per run. A long-lived
+	// server wants this: sliding-window abort/miss rates, trip state, and
+	// probe streaks then reflect the tenant's sustained traffic rather
+	// than resetting on every batch, and Runner.Governor exposes the live
+	// state machine for admission-control decisions. Requires Govern.
+	GovernPersist bool
 	// MaxHistory bounds the runtime's committed-history length: a commit
 	// that would overflow the bound forces a reclamation pass and then
 	// stalls until active transactions advance past the old entries.
@@ -311,6 +329,12 @@ type Config struct {
 	// commits concurrently. 0 means the stm default; 1 degenerates to the
 	// paper's single global commit lock.
 	CommitStripes int
+	// Record, when non-nil, receives each committed transaction's
+	// operation log inside the commit's publication turn — commit order,
+	// exactly once per accepted transaction (see internal/rec for the
+	// chunked trace recorder / flight recorder built on this). Nil
+	// disables recording at the cost of one branch per commit.
+	Record CommitSink
 	// Trace, when non-nil, records every run's protocol events (task
 	// spans, validations, commits, aborts with reasons, cache queries)
 	// into per-worker ring buffers; see RunStats.Timeline and
@@ -335,6 +359,11 @@ type Runner struct {
 	// permanently degrades to write-set detection (the cache cannot be
 	// trusted to have been trained as intended).
 	specRejected bool
+	// gov is the persistent health governor (Config.GovernPersist). It is
+	// built lazily on first use — not in New — so spec loading and lenient
+	// rejection can still steer which detector it wraps.
+	govOnce sync.Once
+	gov     *health.Governor
 }
 
 // New builds a Runner. When cfg.Observe is set, the debug endpoint is
@@ -472,6 +501,27 @@ func (r *Runner) detector() conflict.Detector {
 	return r.engine.Detector()
 }
 
+// Governor returns the runner's persistent health governor, or nil unless
+// both Config.Govern and Config.GovernPersist are set. The first call
+// builds it (wrapping the runner's configured detector); every run of the
+// runner then feeds the same sliding windows, so its state reflects
+// sustained traffic. Callers use it for admission decisions: State()
+// reports healthy/degraded/tripped live, and health.Publish can export it
+// under a per-tenant expvar name.
+func (r *Runner) Governor() *health.Governor {
+	if !r.cfg.Govern || !r.cfg.GovernPersist {
+		return nil
+	}
+	r.govOnce.Do(func() {
+		gc := r.cfg.Governor
+		if gc.Tracer == nil && r.cfg.Trace != nil {
+			gc.Tracer = r.cfg.Trace
+		}
+		r.gov = health.NewGovernor(r.detector(), nil, gc)
+	})
+	return r.gov
+}
+
 func (r *Runner) run(ctx context.Context, initial *State, tasks []Task, ordered bool) (*State, RunStats, error) {
 	det := r.detector()
 	var tracer obs.Tracer
@@ -481,11 +531,15 @@ func (r *Runner) run(ctx context.Context, initial *State, tasks []Task, ordered 
 	var gov *health.Governor
 	var stmGov stm.Governor
 	if r.cfg.Govern {
-		gc := r.cfg.Governor
-		if gc.Tracer == nil {
-			gc.Tracer = tracer
+		if r.cfg.GovernPersist {
+			gov = r.Governor()
+		} else {
+			gc := r.cfg.Governor
+			if gc.Tracer == nil {
+				gc.Tracer = tracer
+			}
+			gov = health.NewGovernor(det, nil, gc)
 		}
-		gov = health.NewGovernor(det, nil, gc)
 		health.Publish("janus.health", gov)
 		det = gov
 		stmGov = gov
@@ -504,6 +558,7 @@ func (r *Runner) run(ctx context.Context, initial *State, tasks []Task, ordered 
 		MaxHistory:     r.cfg.MaxHistory,
 		MaxTxnOps:      r.cfg.MaxTxnOps,
 		CommitStripes:  r.cfg.CommitStripes,
+		Record:         r.cfg.Record,
 	}, initial, tasks)
 	rs := RunStats{Run: stats}
 	inner := det
