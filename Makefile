@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench bench-contention bench-detect bench-commit bench-governor chaos soak serve-smoke trace record-replay clean
+.PHONY: all vet build test race check bench bench-contention bench-detect bench-commit bench-governor bench-journal chaos soak serve-smoke crash-matrix trace record-replay clean
 
 all: check
 
@@ -15,7 +15,7 @@ test:
 
 # Short race job over the concurrency-heavy packages (mirrors CI).
 race:
-	$(GO) test -race -count=1 . ./internal/stm ./internal/conflict ./internal/obs ./internal/cache ./internal/vtime ./internal/rec ./internal/serve ./internal/health
+	$(GO) test -race -count=1 . ./internal/stm ./internal/conflict ./internal/obs ./internal/cache ./internal/vtime ./internal/rec ./internal/serve ./internal/health ./internal/wal ./internal/fsio
 
 # Short chaos soak under the race detector (mirrors CI): fault-injected
 # runs whose final state is checked against the sequential oracle.
@@ -29,13 +29,22 @@ chaos:
 soak:
 	$(GO) test -race -count=1 -run Chaos -timeout 30m ./internal/chaos -chaos.seeds=200
 
-# Serving-layer integration smoke: start janus-serve, drive concurrent
-# multi-tenant load through the janus-bench loadgen client (exactly-once
-# journal + sequential-oracle digest verification), then require a clean
-# SIGTERM drain. Nonzero exit on any lost/duplicated batch, digest
-# mismatch, or hung drain.
+# Serving-layer integration smoke, two phases: (1) in-memory load +
+# exactly-once journal + sequential-oracle digest verification + clean
+# SIGTERM drain; (2) durable journal, armed mid-load kill (SIGKILL
+# semantics), restart on the same data dir, restart-aware resume
+# verification. Nonzero exit on any lost/duplicated batch, digest
+# mismatch, lost acked write, or hung drain.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# Durability crash matrix against the real daemon: every wal crash point
+# x fsync policy, each case armed to os.Exit mid-protocol, restarted on
+# its data dir, and verified with the restart-aware loadgen. Used by the
+# nightly workflow; per-push CI runs the cheaper in-process
+# TestCrashRecoverySoak plus serve-smoke instead.
+crash-matrix:
+	sh scripts/crash-matrix.sh
 
 check: vet build test race chaos serve-smoke
 
@@ -77,6 +86,17 @@ bench-governor:
 	$(GO) run ./cmd/janus-bench -json -govern -govern-window 8 -chaos 42 \
 		-workloads jfilesync,pmd > BENCH_governor.json
 
+# Journal append-latency trajectory: BenchmarkJournalAppend across the
+# three fsync policies (never / group / always — the price of the
+# ack => durable contract is the fsync in the append path), folded into
+# BENCH_serve.json. Used by the nightly workflow; informational, not
+# gating.
+bench-journal:
+	$(GO) test -run '^$$' -bench BenchmarkJournalAppend -benchmem \
+		./internal/wal | tee bench-journal.txt
+	$(GO) run ./cmd/janus-benchjson -file BENCH_serve.json -label journal-append \
+		< bench-journal.txt
+
 # Capture a Chrome trace of one production run (open in ui.perfetto.dev).
 trace:
 	$(GO) run ./cmd/janus-bench -trace out.json -workloads jfilesync
@@ -97,4 +117,4 @@ record-replay:
 		< record-overhead.txt
 
 clean:
-	rm -f out.json bench-contention.txt bench-commit.txt BENCH_governor.json janus.trace record-overhead.txt
+	rm -f out.json bench-contention.txt bench-commit.txt BENCH_governor.json janus.trace record-overhead.txt bench-journal.txt

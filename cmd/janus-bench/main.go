@@ -86,11 +86,13 @@ func main() {
 		srvTen   = flag.Int("serve-tenants", 0, "loadgen: tenant count (0 = default)")
 		srvCli   = flag.Int("serve-clients", 0, "loadgen: concurrent clients per tenant (0 = default)")
 		srvBat   = flag.Int("serve-batches", 0, "loadgen: batches per client (0 = default)")
+		srvBase  = flag.Int("serve-seq-base", 0, "loadgen: batch sequence offset; set to the previous run's -serve-batches when driving a restarted durable daemon")
+		srvRes   = flag.Bool("serve-resume", false, "loadgen: resubmit every pre-crash batch ID below -serve-seq-base first, requiring 409 original-verdict or fresh 200 for each (crash-restart verification)")
 	)
 	flag.Parse()
 
 	if *serveURL != "" {
-		loadgen(*serveURL, *srvTen, *srvCli, *srvBat, *jsonOut)
+		loadgen(*serveURL, *srvTen, *srvCli, *srvBat, *srvBase, *srvRes, *jsonOut)
 		return
 	}
 
@@ -287,19 +289,21 @@ func profile(out *os.File, opts bench.Opts, traceOut string, jsonOut bool, detNa
 // batch traffic plus the exactly-once / oracle-digest verification. Any
 // lost or duplicated accepted batch, digest mismatch, or untyped shed
 // reply exits nonzero — this is the gating half of the CI serving smoke.
-func loadgen(url string, tenants, clients, batches int, jsonOut bool) {
+func loadgen(url string, tenants, clients, batches, seqBase int, resume, jsonOut bool) {
 	rep, err := loadgenpkg.Run(os.Stderr, loadgenpkg.Opts{
 		URL:     url,
 		Tenants: tenants,
 		Clients: clients,
 		Batches: batches,
+		SeqBase: seqBase,
+		Resume:  resume,
 	})
 	check(err)
 	if jsonOut {
 		check(loadgenpkg.WriteJSON(os.Stdout, rep))
 	} else {
-		fmt.Printf("loadgen: submitted=%d accepted=%d sheds=%d deadline-misses=%d gave-up=%d\n",
-			rep.Submitted, rep.Accepted, rep.Sheds, rep.Deadlines, rep.GaveUp)
+		fmt.Printf("loadgen: submitted=%d accepted=%d sheds=%d deadline-misses=%d gave-up=%d resubmitted=%d recovered=%d\n",
+			rep.Submitted, rep.Accepted, rep.Sheds, rep.Deadlines, rep.GaveUp, rep.Resubmitted, rep.Recovered)
 		for _, tr := range rep.Tenants {
 			fmt.Printf("  tenant %s: applied=%d digest=%s ok=%v\n", tr.Tenant, tr.Applied, tr.Digest, tr.OK)
 		}

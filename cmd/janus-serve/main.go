@@ -22,6 +22,15 @@
 // rings are dumped to -flight-dir and the process exits 1 — the dumps are
 // replayable with janus-replay.
 //
+// Durability: with -data-dir set, every tenant keeps a write-ahead
+// journal appended before a batch is acked, so an acked batch survives
+// kill -9 (at -fsync always; see the policy table in DESIGN.md §13) and
+// a restart replays the journal through the sequential oracle with
+// per-record digest verification. Duplicate submits return their
+// original verdict as a 409 across restarts. Background snapshots every
+// -snapshot-every batches bound recovery and truncate covered segments;
+// torn or corrupt journal tails are truncated and counted in /healthz.
+//
 // Drive it with the janus-bench load generator:
 //
 //	janus-serve -addr :8085 &
@@ -37,11 +46,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	janus "repro"
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -63,6 +76,12 @@ func main() {
 		flightDir    = flag.String("flight-dir", ".", "directory for flight-recorder dumps on abnormal exit")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "budget for draining in-flight batches on shutdown")
 		governWindow = flag.Int("govern-window", 0, "governor evaluation window in detections (0 = default)")
+		dataDir      = flag.String("data-dir", "", "directory for per-tenant durable journals; empty serves in-memory only")
+		fsyncMode    = flag.String("fsync", "always", "journal fsync policy: always (ack => durable), group (interval fsync), never")
+		fsyncIvl     = flag.Duration("fsync-interval", 0, "group-commit fsync cadence under -fsync group (0 = default 25ms)")
+		segBytes     = flag.Int64("segment-bytes", 0, "journal segment rotation size (0 = default 4MiB)")
+		snapEvery    = flag.Int("snapshot-every", 0, "snapshot + truncate cadence in applied batches per tenant (0 = default 1024, negative disables)")
+		chaosCrash   = flag.String("chaos-crash", "", "kill the process at the Nth visit of a wal crash point, as point:N (e.g. wal.append.after:100); testing only")
 	)
 	flag.Parse()
 
@@ -81,6 +100,10 @@ func main() {
 		log.Fatalf("janus-serve: unknown -detector %q (want seq or ws)", *detector)
 	}
 
+	policy, err := wal.ParsePolicy(*fsyncMode)
+	if err != nil {
+		log.Fatalf("janus-serve: %v", err)
+	}
 	srv := serve.NewServer(serve.Config{
 		Runner:           rcfg,
 		MaxTenants:       *maxTenants,
@@ -91,8 +114,22 @@ func main() {
 		DefaultDeadline:  *defDeadline,
 		MaxDeadline:      *maxDeadline,
 		FlightChunks:     *flightChunks,
+		DataDir:          *dataDir,
+		Fsync:            policy,
+		FsyncInterval:    *fsyncIvl,
+		SegmentBytes:     *segBytes,
+		SnapshotEvery:    *snapEvery,
+		CrashHook:        crashHook(*chaosCrash),
 	})
 	serve.PublishVars("janus.serve", srv)
+	if *dataDir != "" {
+		names, rerr := srv.RecoverTenants()
+		if rerr != nil {
+			log.Fatalf("janus-serve: boot recovery failed: %v", rerr)
+		}
+		log.Printf("janus-serve: durable (data-dir=%s fsync=%s); recovered %d tenant(s) %v",
+			*dataDir, policy, len(names), names)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -123,15 +160,50 @@ func main() {
 		dumpFlight(srv, *flightDir)
 		os.Exit(1)
 	}
-	// In-flight work is done; close the listener and any idle or
-	// streaming connections. A straggling timeline follower must not
-	// outlive the drain budget, so fall back to a hard close.
+	// In-flight work is done: a final journal sync + close makes the
+	// planned shutdown durable under every fsync policy.
+	if err := srv.CloseJournals(); err != nil {
+		log.Printf("janus-serve: closing journals: %v", err)
+	}
+	// Close the listener and any idle or streaming connections. A
+	// straggling timeline follower must not outlive the drain budget, so
+	// fall back to a hard close.
 	sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer scancel()
 	if err := hs.Shutdown(sctx); err != nil {
 		_ = hs.Close()
 	}
 	log.Printf("janus-serve: drained cleanly")
+}
+
+// crashHook arms a real kill at the Nth visit of one wal crash point
+// ("point:N"). Unlike the in-process poison hook the soak tests use,
+// the daemon dies for real — SIGKILL semantics, page cache survives —
+// which is what the crash-matrix smoke script exercises.
+func crashHook(spec string) wal.Hook {
+	if spec == "" {
+		return nil
+	}
+	i := strings.LastIndex(spec, ":")
+	if i <= 0 {
+		log.Fatalf("janus-serve: -chaos-crash wants point:N, got %q", spec)
+	}
+	point := spec[:i]
+	n, err := strconv.ParseInt(spec[i+1:], 10, 64)
+	if err != nil || n <= 0 {
+		log.Fatalf("janus-serve: -chaos-crash count in %q: want a positive integer", spec)
+	}
+	var visits atomic.Int64
+	return func(p string) bool {
+		if p != point {
+			return false
+		}
+		if visits.Add(1) == n {
+			log.Printf("janus-serve: chaos crash at %s (visit %d); dying", point, n)
+			os.Exit(137)
+		}
+		return false
+	}
 }
 
 // dumpFlight writes every tenant's flight-recorder ring for post-mortem

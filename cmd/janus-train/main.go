@@ -12,10 +12,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/fsio"
 	"repro/internal/workloads"
 )
 
@@ -59,43 +60,12 @@ func main() {
 	}
 }
 
-// writeSpecAtomic writes the spec artifact via a temp file in the target's
-// directory, fsyncs it, and renames it into place — a crash or full disk
-// mid-write can never leave a truncated artifact at the published path
-// (the envelope CRC would catch one, but a deployment should not have to).
-func writeSpecAtomic(engine *core.Engine, out string) (err error) {
-	dir := filepath.Dir(out)
-	f, err := os.CreateTemp(dir, filepath.Base(out)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if err != nil {
-			f.Close()
-			os.Remove(f.Name())
-		}
-	}()
-	// CreateTemp makes the file 0600; the published artifact must stay
-	// world-readable like a plainly-created file would be.
-	if err = f.Chmod(0o644); err != nil {
-		return err
-	}
-	if err = engine.SaveSpec(f); err != nil {
-		return err
-	}
-	if err = f.Sync(); err != nil {
-		return err
-	}
-	if err = f.Close(); err != nil {
-		return err
-	}
-	if err = os.Rename(f.Name(), out); err != nil {
-		return err
-	}
-	// Best-effort directory sync so the rename itself is durable.
-	if d, derr := os.Open(dir); derr == nil {
-		d.Sync()
-		d.Close()
-	}
-	return nil
+// writeSpecAtomic publishes the spec artifact through fsio's atomic
+// temp+fsync+rename idiom — a crash or full disk mid-write can never
+// leave a truncated artifact at the published path (the envelope CRC
+// would catch one, but a deployment should not have to).
+func writeSpecAtomic(engine *core.Engine, out string) error {
+	return fsio.WriteAtomicFunc(out, func(w io.Writer) error {
+		return engine.SaveSpec(w)
+	})
 }

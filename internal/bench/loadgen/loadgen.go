@@ -39,6 +39,18 @@ type Opts struct {
 	Attempts int
 	// Timeout is the per-request HTTP timeout; zero means 30s.
 	Timeout time.Duration
+	// SeqBase offsets every client's batch sequence numbers. A run
+	// against a restarted durable daemon sets SeqBase to the previous
+	// run's Batches so its fresh IDs cannot collide with pre-crash ones.
+	SeqBase int
+	// Resume, with SeqBase > 0, first resubmits every pre-crash batch ID
+	// (seq in [0, SeqBase)) and requires the service to resolve each
+	// exactly once: 409 carrying the original verdict (journal position
+	// and digest) when the batch survived the crash, or a fresh 200 when
+	// its record never reached the journal. This is the client half of
+	// the crash-restart smoke — it proves acked work is never silently
+	// lost or re-applied across a kill.
+	Resume bool
 }
 
 func (o Opts) withDefaults() Opts {
@@ -77,8 +89,14 @@ type Report struct {
 	Sheds     int64          `json:"sheds"`
 	Deadlines int64          `json:"deadline_misses"`
 	GaveUp    int64          `json:"gave_up"`
-	Tenants   []TenantResult `json:"tenants"`
-	OK        bool           `json:"ok"`
+	// Resubmitted and Recovered describe the Resume phase: pre-crash IDs
+	// replayed, and how many came back 409 with their original verdict
+	// (the rest applied fresh — their pre-crash submission never
+	// journaled).
+	Resubmitted int64          `json:"resubmitted,omitempty"`
+	Recovered   int64          `json:"recovered,omitempty"`
+	Tenants     []TenantResult `json:"tenants"`
+	OK          bool           `json:"ok"`
 }
 
 // batchFor builds the deterministic batch for (tenant, client, seq):
@@ -137,6 +155,36 @@ func Run(out io.Writer, opts Opts) (Report, error) {
 		accepted[tn] = make(map[string]bool)
 	}
 
+	// Resume phase: before generating fresh load, replay every pre-crash
+	// batch ID and pin down its fate. Each must land exactly once.
+	if opts.Resume && opts.SeqBase > 0 {
+		for _, tn := range tenants {
+			for cl := 0; cl < opts.Clients; cl++ {
+				for seq := 0; seq < opts.SeqBase; seq++ {
+					b := batchFor(tn, cl, seq)
+					status, er, err := resubmit(client, opts, tn, b)
+					if err != nil {
+						return rep, err
+					}
+					rep.Resubmitted++
+					switch status {
+					case http.StatusOK:
+						// Never journaled pre-crash; applied fresh now.
+					case http.StatusConflict:
+						if er.Applied <= 0 || er.Digest == "" {
+							return rep, fmt.Errorf("loadgen: resume %s: 409 without original verdict (applied=%d digest=%q)",
+								b.ID, er.Applied, er.Digest)
+						}
+						rep.Recovered++
+					}
+					accepted[tn][b.ID] = true
+				}
+			}
+		}
+		fmt.Fprintf(out, "loadgen: resume resolved %d pre-crash batches (%d survived the crash, %d applied fresh)\n",
+			rep.Resubmitted, rep.Recovered, rep.Resubmitted-rep.Recovered)
+	}
+
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var firstErr error
@@ -152,7 +200,7 @@ func Run(out io.Writer, opts Opts) (Report, error) {
 			wg.Add(1)
 			go func(tenant string, cl int) {
 				defer wg.Done()
-				for seq := 0; seq < opts.Batches; seq++ {
+				for seq := opts.SeqBase; seq < opts.SeqBase+opts.Batches; seq++ {
 					b := batchFor(tenant, cl, seq)
 					mu.Lock()
 					rep.Submitted++
@@ -246,6 +294,46 @@ func submitWithRetry(client *http.Client, opts Opts, tenant string, b *serve.Bat
 		}
 	}
 	return false, nil
+}
+
+// resubmit pushes one pre-crash batch until it resolves to a definitive
+// 200 or 409, retrying sheds and transport hiccups. Anything else —
+// including exhausting the budget — is an error: a restarted service
+// must be able to answer for every previously-submitted ID.
+func resubmit(client *http.Client, opts Opts, tenant string, b *serve.Batch) (int, serve.ErrorReply, error) {
+	var er serve.ErrorReply
+	for attempt := 0; attempt < opts.Attempts; attempt++ {
+		body, err := json.Marshal(b)
+		if err != nil {
+			return 0, er, err
+		}
+		resp, err := client.Post(opts.URL+"/submit?tenant="+tenant, "application/json", bytes.NewReader(body))
+		if err != nil {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		er = serve.ErrorReply{}
+		if resp.StatusCode != http.StatusOK {
+			_ = json.NewDecoder(resp.Body).Decode(&er)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusConflict:
+			return resp.StatusCode, er, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+			http.StatusGatewayTimeout, serve.StatusCanceled:
+			wait := time.Duration(er.RetryAfterMS) * time.Millisecond
+			if wait <= 0 || wait > 100*time.Millisecond {
+				wait = 100 * time.Millisecond
+			}
+			time.Sleep(wait)
+		default:
+			return resp.StatusCode, er, fmt.Errorf("loadgen: resume %s: unexpected status %d (%s: %s)",
+				b.ID, resp.StatusCode, er.Code, er.Error)
+		}
+	}
+	return 0, er, fmt.Errorf("loadgen: resume %s: no definitive reply in %d attempts", b.ID, opts.Attempts)
 }
 
 // verifyTenant checks one tenant's journal and state digest against the

@@ -1,0 +1,65 @@
+package chaos
+
+import (
+	"sync/atomic"
+
+	"repro/internal/wal"
+)
+
+// CrashPlan schedules one simulated process death for the durability
+// layer: at the Visit-th time the journal reaches Point, the plan's
+// hook reports die=true and wal poisons the log — every subsequent
+// journal operation fails with wal.ErrCrashed and performs no I/O,
+// exactly the observable behavior of `kill -9` at that instant (bytes
+// written before the point survive in the page cache; nothing after
+// exists). Like every injector in this package the decision is
+// deterministic: same plan, same traffic order, same death.
+//
+// The recovery soak iterates plans over CrashPoints × visit counts,
+// restarting a server on the same data dir after each death and
+// asserting convergence (journal == oracle digest, no acked-but-lost,
+// no double-applied).
+type CrashPlan struct {
+	// Point is the wal crash point to die at (see CrashPoints).
+	Point string
+	// Visit is the 1-based count of Point visits to survive before
+	// dying; 1 dies at the first visit.
+	Visit int64
+
+	visits atomic.Int64
+	fired  atomic.Bool
+}
+
+// Hook adapts the plan to wal.Options.Hook.
+func (p *CrashPlan) Hook() wal.Hook {
+	return func(point string) bool {
+		if point != p.Point {
+			return false
+		}
+		if p.visits.Add(1) == p.Visit {
+			p.fired.Store(true)
+			return true
+		}
+		return false
+	}
+}
+
+// Fired reports whether the death was reached (a plan aimed past the
+// run's traffic never fires — the soak uses this to stop escalating).
+func (p *CrashPlan) Fired() bool { return p.fired.Load() }
+
+// Visits reports how many times the planned point was reached.
+func (p *CrashPlan) Visits() int64 { return p.visits.Load() }
+
+// CrashPoints enumerates every wal crash point, in protocol order — the
+// axis the recovery soak's crash matrix iterates.
+func CrashPoints() []string {
+	return []string{
+		wal.PointAppendBefore,
+		wal.PointAppendAfter,
+		wal.PointSnapshotMid,
+		wal.PointSnapshotRenameBefore,
+		wal.PointSnapshotRenameAfter,
+		wal.PointTruncateBefore,
+	}
+}

@@ -26,11 +26,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
-	"os"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/fsio"
 	"repro/internal/obs"
 	"repro/internal/oplog"
 	"repro/internal/seqabs"
@@ -349,34 +349,18 @@ func (r *Recorder) deriveDigestLocked() (uint64, error) {
 	return Digest(st), nil
 }
 
-// WriteFile dumps the current capture to path (atomically via a
-// temp-file rename, so a crash mid-dump can't leave a torn artifact).
+// WriteFile dumps the current capture to path atomically (fsio's
+// temp+fsync+rename idiom, so a crash mid-dump can't leave a torn
+// artifact and the published dump is world-readable).
 func (r *Recorder) WriteFile(path string) error {
-	tmp, err := os.CreateTemp(dirOf(path), ".janus-trace-*")
+	err := fsio.WriteAtomicFunc(path, func(w io.Writer) error {
+		_, werr := r.WriteTo(w)
+		return werr
+	})
 	if err != nil {
-		return fmt.Errorf("rec: creating trace file: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := r.WriteTo(tmp); err != nil {
-		tmp.Close()
-		return fmt.Errorf("rec: writing trace: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("rec: closing trace file: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("rec: publishing trace file: %w", err)
+		return fmt.Errorf("rec: writing trace file: %w", err)
 	}
 	return nil
-}
-
-func dirOf(path string) string {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' {
-			return path[:i]
-		}
-	}
-	return "."
 }
 
 // Digest fingerprints a state via FNV-64a over its canonical rendering

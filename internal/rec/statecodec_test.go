@@ -1,0 +1,85 @@
+package rec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/state"
+)
+
+func codecState() *state.State {
+	st := state.New()
+	st.Set("n", state.Int(-42))
+	st.Set("s", state.Str("hello"))
+	st.Set("b", state.Bool(true))
+	st.Set("l", state.IntList{3, 1, 4, 1, 5})
+	r := relation.New([]string{"k", "v"}, &relation.FD{Domain: []string{"k"}, Range: []string{"v"}})
+	r.Insert(relation.Tuple{"k": "a", "v": "1"})
+	r.Insert(relation.Tuple{"k": "b", "v": "2"})
+	st.Set("rel", state.Rel{R: r})
+	return st
+}
+
+func TestStateCodecRoundTrip(t *testing.T) {
+	st := codecState()
+	buf, err := EncodeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeState(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(st) {
+		t.Fatalf("round trip mismatch:\n got %s\nwant %s", got, st)
+	}
+	if Digest(got) != Digest(st) {
+		t.Fatal("digest changed across round trip")
+	}
+
+	empty, err := EncodeState(state.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeState(empty); err != nil || got.Len() != 0 {
+		t.Fatalf("empty state round trip: %v, len %d", err, got.Len())
+	}
+}
+
+// TestStateCodecRejectsCorruption: every truncation and a sampling of
+// bit flips must yield a typed *TraceError, never a panic.
+func TestStateCodecRejectsCorruption(t *testing.T) {
+	buf, err := EncodeState(codecState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(mutated []byte) {
+		t.Helper()
+		st, err := DecodeState(mutated)
+		if err == nil {
+			// Some flips decode to a different valid state; the only hard
+			// requirement here is no panic and no nil-with-nil-error.
+			if st == nil {
+				t.Fatal("nil state with nil error")
+			}
+			return
+		}
+		var te *TraceError
+		if !errors.As(err, &te) {
+			t.Fatalf("untyped decode error: %v", err)
+		}
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		check(buf[:cut])
+	}
+	for i := 0; i < len(buf); i++ {
+		mutated := append([]byte(nil), buf...)
+		mutated[i] ^= 0xff
+		check(mutated)
+	}
+	// Trailing garbage is malformed, not silently ignored.
+	if _, err := DecodeState(append(append([]byte(nil), buf...), 0x7)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

@@ -15,6 +15,8 @@ import (
 
 	janus "repro"
 	"repro/internal/health"
+	"repro/internal/rec"
+	"repro/internal/wal"
 )
 
 // Config parameterizes a Server. The zero value serves DefaultSchema
@@ -60,6 +62,27 @@ type Config struct {
 	// TraceLane sizes each tenant trace's per-worker ring; 0 uses the
 	// obs default.
 	TraceLane int
+
+	// DataDir turns on durability: each tenant journals its applied
+	// batches under DataDir/<tenant>/ before acknowledging them, and is
+	// recovered crash-consistently from that journal on first use (or
+	// eagerly via RecoverTenants). Empty serves in-memory only.
+	DataDir string
+	// Fsync is the journal's fsync policy (default wal.FsyncAlways:
+	// ack ⇒ durable against machine crashes, not just process death).
+	Fsync wal.Policy
+	// FsyncInterval is the group-commit cadence under wal.FsyncGroup;
+	// 0 uses the wal default.
+	FsyncInterval time.Duration
+	// SegmentBytes bounds journal segment size; 0 uses the wal default.
+	SegmentBytes int64
+	// SnapshotEvery publishes a state snapshot (and truncates covered
+	// journal segments) after this many applied batches per tenant,
+	// bounding recovery replay. 0 means 1024; negative disables.
+	SnapshotEvery int
+	// CrashHook observes wal crash points for chaos testing; nil in
+	// production.
+	CrashHook wal.Hook
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +113,9 @@ func (c Config) withDefaults() Config {
 	if c.FlightChunks <= 0 {
 		c.FlightChunks = 8
 	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 1024
+	}
 	return c
 }
 
@@ -114,8 +140,6 @@ type Server struct {
 	rejected   expvar.Int
 }
 
-var errDuplicate = errors.New("serve: batch id already applied")
-
 // NewServer builds a serving core.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
@@ -129,20 +153,24 @@ func NewServer(cfg Config) *Server {
 // Schema returns the served schema (for oracle clients).
 func (s *Server) Schema() Schema { return s.cfg.Schema }
 
-// tenantFor returns the named tenant, creating it on first use, or nil
-// when the tenant table is full.
-func (s *Server) tenantFor(name string) *tenant {
+// tenantFor returns the named tenant, creating (and, with a data dir,
+// recovering) it on first use. nil with no error means the tenant table
+// is full; an error means recovery of the tenant's journal failed.
+func (s *Server) tenantFor(name string) (*tenant, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t, ok := s.tenants[name]; ok {
-		return t
+		return t, nil
 	}
 	if len(s.tenants) >= s.cfg.MaxTenants {
-		return nil
+		return nil, nil
 	}
-	t := s.newTenant(name)
+	t, err := s.newTenant(name)
+	if err != nil {
+		return nil, err
+	}
 	s.tenants[name] = t
-	return t
+	return t, nil
 }
 
 // lookup returns an existing tenant or nil (introspection endpoints do
@@ -279,9 +307,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	defer s.wg.Done()
 
 	name := tenantName(r)
-	if name == "" {
+	if err := validateTenantName(name); err != nil {
 		s.rejected.Add(1)
-		reply(w, http.StatusBadRequest, ErrorReply{Error: "tenant required (X-Janus-Tenant header or ?tenant=)", Code: CodeBadRequest})
+		reply(w, http.StatusBadRequest, ErrorReply{Error: err.Error(), Code: CodeBadRequest})
 		return
 	}
 	b, err := decodeBatch(r, s.cfg.MaxBody)
@@ -296,7 +324,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		reply(w, http.StatusBadRequest, ErrorReply{Error: err.Error(), Code: CodeBadRequest})
 		return
 	}
-	t := s.tenantFor(name)
+	t, terr := s.tenantFor(name)
+	if terr != nil {
+		// The tenant's journal exists but cannot be recovered honestly:
+		// refuse to serve guessed state. Permanent until an operator
+		// intervenes, so no Retry-After.
+		s.rejected.Add(1)
+		reply(w, http.StatusInternalServerError, ErrorReply{Error: terr.Error(), Code: CodeRecovery})
+		return
+	}
 	if t == nil {
 		s.rejected.Add(1)
 		s.shed(w, nil, http.StatusTooManyRequests, CodeTenantLimit, "tenant table full")
@@ -339,10 +375,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // writeRunError maps a batch execution error to its typed reply.
 func (s *Server) writeRunError(w http.ResponseWriter, r *http.Request, t *tenant, err error) {
+	var dup *duplicateError
 	switch {
-	case errors.Is(err, errDuplicate):
+	case errors.As(err, &dup):
+		// The original verdict rides along: the seq the batch committed at
+		// and the digest it produced, so a client that lost the ack (e.g.
+		// to a server crash after the journal append) can confirm its
+		// batch applied exactly once.
 		s.duplicates.Add(1)
-		reply(w, http.StatusConflict, ErrorReply{Error: err.Error(), Code: CodeDuplicate})
+		reply(w, http.StatusConflict, ErrorReply{
+			Error: err.Error(), Code: CodeDuplicate,
+			Applied: int64(dup.seq), Digest: rec.FormatDigest(dup.digest),
+		})
+	case errors.Is(err, wal.ErrCrashed):
+		// A chaos crash point fired: this process is "dead"; everything
+		// journaled before the point survives for the restart.
+		t.failed.Add(1)
+		reply(w, http.StatusServiceUnavailable, ErrorReply{Error: err.Error(), Code: CodeJournal})
+	case errors.As(err, new(*journalError)):
+		// The batch ran but could not be journaled: not applied, not
+		// acked — the invariant holds and the client may retry.
+		t.failed.Add(1)
+		s.shed(w, t, http.StatusServiceUnavailable, CodeJournal, err.Error())
 	case r.Context().Err() != nil:
 		// The client went away (or its own deadline fired): the batch was
 		// not applied; nobody is reading, but keep the accounting honest.

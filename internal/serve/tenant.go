@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,13 +11,15 @@ import (
 	janus "repro"
 	"repro/internal/health"
 	"repro/internal/rec"
+	"repro/internal/wal"
 )
 
 // tenant is one client namespace: its own Runner (own spec cache handle
 // and persistent governor), its own committed state, its own flight
-// recorder and trace, and its own admission counters. Nothing a tenant
-// does — thrash its governor, wedge on its deadline, flood its queue —
-// touches another tenant's runner or state.
+// recorder and trace, its own durable journal when the server has a
+// data dir, and its own admission counters. Nothing a tenant does —
+// thrash its governor, wedge on its deadline, flood its queue — touches
+// another tenant's runner, state, or journal.
 type tenant struct {
 	name   string
 	runner *janus.Runner
@@ -32,9 +36,27 @@ type tenant struct {
 	st      *janus.State
 	applied int64
 	journal []string
-	// seen marks applied batch IDs for duplicate refusal. Failed batches
-	// are removed so the client can retry the same ID.
-	seen map[string]struct{}
+	// seen maps every applied batch ID to the journal position and state
+	// digest its commit produced: the exactly-once index. A duplicate
+	// submission is refused with the original verdict (409 carrying that
+	// seq and digest) — including after a restart, because the index is
+	// rebuilt from the snapshot's seen table plus the journal suffix.
+	// Failed batches never enter it, so the client can retry the same ID.
+	seen map[string]appliedBatch
+
+	// wal is the tenant's durable journal; nil without a data dir.
+	// Appends happen under the gate (which serializes them) before the
+	// in-memory state swap and before the client sees an ack.
+	wal *wal.Log
+	// snapEvery is the server's snapshot cadence in applied batches,
+	// copied at creation (<=0 disables).
+	snapEvery int
+	// lastSnap is the journal seq the newest published snapshot covers.
+	lastSnap atomic.Uint64
+	// snapBusy serializes background snapshots; snapWG lets shutdown wait
+	// for one in flight.
+	snapBusy atomic.Bool
+	snapWG   sync.WaitGroup
 
 	// inflight counts admitted-but-unfinished submits; admission caps it
 	// per governor state.
@@ -50,19 +72,42 @@ type tenant struct {
 	retries   atomic.Int64 // cumulative run retries
 	commits   atomic.Int64 // cumulative task commits
 	runNanos  atomic.Int64 // cumulative run wall time
+	snapshots atomic.Int64 // snapshots published
+	snapErrs  atomic.Int64 // snapshot attempts that failed
 	lastState atomic.Int64 // last observed governor state (health.State)
+
+	// set once at recovery, read-only after: repair actions the boot scan
+	// took (operator-visible — the journal lost a suffix or a crash tore
+	// an append) and snapshot files it had to skip.
+	recTruncations int64
+	recBadSnaps    int64
 }
 
-// newTenant builds a tenant from the server's runner template. The
-// runner gets a persistent governor (admission reads its live state), a
-// per-tenant flight recorder as its commit sink, and a per-tenant trace
-// feeding the timeline endpoint.
-func (s *Server) newTenant(name string) *tenant {
+// appliedBatch is one seen-index entry: where in the journal a batch
+// landed and the state digest its commit produced.
+type appliedBatch struct {
+	seq    uint64
+	digest uint64
+}
+
+// newTenant builds a tenant from the server's runner template. With a
+// data dir the tenant's state, applied count, and seen index are first
+// recovered from its journal (see durable.go); the runner then gets a
+// persistent governor (admission reads its live state), a per-tenant
+// flight recorder as its commit sink, and a per-tenant trace feeding
+// the timeline endpoint.
+func (s *Server) newTenant(name string) (*tenant, error) {
 	t := &tenant{
 		name: name,
 		gate: make(chan struct{}, 1),
 		st:   InitialState(s.cfg.Schema),
-		seen: make(map[string]struct{}),
+		seen: make(map[string]appliedBatch),
+	}
+	if s.cfg.DataDir != "" {
+		t.snapEvery = s.cfg.SnapshotEvery
+		if err := s.recoverTenant(t); err != nil {
+			return nil, err
+		}
 	}
 	cfg := s.cfg.Runner
 	cfg.Govern = true
@@ -83,7 +128,7 @@ func (s *Server) newTenant(name string) *tenant {
 	if g := t.runner.Governor(); g != nil {
 		health.Publish("janus.health."+name, g)
 	}
-	return t
+	return t, nil
 }
 
 // govState reads the tenant governor's live state.
@@ -111,10 +156,18 @@ func (t *tenant) acquire(ctx context.Context) error {
 func (t *tenant) release() { <-t.gate }
 
 // runBatch applies one compiled batch atomically: run from the current
-// committed state with ordered commits, and only on full success swap
-// the tenant state and append the journal entry. Any error — deadline,
-// task failure, retry exhaustion — leaves state, journal, and seen-set
-// exactly as before, so the client can safely retry the same batch ID.
+// committed state with ordered commits, journal the outcome durably,
+// and only then swap the tenant state and acknowledge. Any error —
+// deadline, task failure, retry exhaustion, journal append failure —
+// leaves state, journal, and seen-set exactly as before, so the client
+// can safely retry the same batch ID.
+//
+// The durability ordering is the tentpole invariant: the WAL append
+// (fsynced under FsyncAlways) happens under the gate, after the run
+// succeeds, BEFORE the in-memory swap and the ack. A crash after the
+// append but before the reply leaves a durable record for a batch the
+// client never saw acknowledged; recovery replays it and the client's
+// retry gets the original verdict as a 409.
 func (t *tenant) runBatch(ctx context.Context, b *Batch, tasks []janus.Task) (*BatchResult, error) {
 	if err := t.acquire(ctx); err != nil {
 		return nil, err
@@ -122,11 +175,12 @@ func (t *tenant) runBatch(ctx context.Context, b *Batch, tasks []janus.Task) (*B
 	defer t.release()
 
 	t.mu.Lock()
-	if _, dup := t.seen[b.ID]; dup {
+	if ab, dup := t.seen[b.ID]; dup {
 		t.mu.Unlock()
-		return nil, errDuplicate
+		return nil, &duplicateError{id: b.ID, seq: ab.seq, digest: ab.digest}
 	}
 	base := t.st
+	seq := uint64(t.applied) + 1
 	t.mu.Unlock()
 
 	start := time.Now()
@@ -139,20 +193,36 @@ func (t *tenant) runBatch(ctx context.Context, b *Batch, tasks []janus.Task) (*B
 	}
 	t.commits.Add(stats.Run.Commits)
 
+	digest64 := rec.Digest(final)
+	if t.wal != nil {
+		payload, merr := json.Marshal(b)
+		if merr != nil {
+			return nil, fmt.Errorf("serve: encoding journal record: %w", merr)
+		}
+		if aerr := t.wal.Append(wal.Record{Seq: seq, ID: b.ID, Payload: payload, Digest: digest64}); aerr != nil {
+			// Not journaled ⇒ not applied: the in-memory state is untouched
+			// and the client gets a retryable journal error, preserving
+			// ack ⇒ durable.
+			return nil, &journalError{err: fmt.Errorf("serve: journaling batch %q: %w", b.ID, aerr)}
+		}
+	}
+
 	t.mu.Lock()
 	t.st = final
 	t.applied++
 	applied := t.applied
 	t.journal = append(t.journal, b.ID)
 	if n := len(t.journal); n > journalCap {
-		// Bound the in-memory journal; the count and digest remain exact.
+		// Bound the in-memory display journal; exactly-once refusal does
+		// not ride on it (the seen index below is complete and durable).
 		t.journal = append(t.journal[:0], t.journal[n-journalCap:]...)
 	}
-	t.seen[b.ID] = struct{}{}
-	digest := rec.FormatDigest(rec.Digest(final))
+	t.seen[b.ID] = appliedBatch{seq: seq, digest: digest64}
+	digest := rec.FormatDigest(digest64)
 	t.mu.Unlock()
 
 	t.accepted.Add(1)
+	t.maybeSnapshot()
 	res := &BatchResult{
 		ID:        b.ID,
 		Tenant:    t.name,
@@ -167,10 +237,11 @@ func (t *tenant) runBatch(ctx context.Context, b *Batch, tasks []janus.Task) (*B
 	return res, nil
 }
 
-// journalCap bounds the retained applied-ID journal per tenant. The
-// seen-set still grows with distinct accepted IDs (exactly-once refusal
-// must outlive the journal window); a production deployment would age it
-// with a TTL, which the soak's horizons never reach.
+// journalCap bounds the retained in-memory display journal (the
+// /journalz ID listing) per tenant. Exactly-once refusal does NOT
+// degrade past this cap: the seen index maps every applied ID ever to
+// its (seq, digest), survives restarts via snapshot + journal, and is
+// what duplicate detection consults.
 const journalCap = 65536
 
 // snapshot reads the tenant's introspection view for /healthz.
@@ -180,7 +251,7 @@ func (t *tenant) snapshot() TenantHealth {
 	journalLen := len(t.journal)
 	digest := rec.FormatDigest(rec.Digest(t.st))
 	t.mu.Unlock()
-	return TenantHealth{
+	th := TenantHealth{
 		Health:     t.govState().String(),
 		Inflight:   t.inflight.Load(),
 		Applied:    applied,
@@ -192,9 +263,19 @@ func (t *tenant) snapshot() TenantHealth {
 		Commits:    t.commits.Load(),
 		Retries:    t.retries.Load(),
 	}
+	if t.wal != nil {
+		th.WalSeq = t.wal.NextSeq() - 1
+		th.SnapshotSeq = t.lastSnap.Load()
+		th.Snapshots = t.snapshots.Load()
+		th.SnapshotErrs = t.snapErrs.Load()
+		th.RecoveredTruncations = t.recTruncations
+		th.RecoveredBadSnapshots = t.recBadSnaps
+	}
+	return th
 }
 
-// TenantHealth is one tenant's row in the /healthz reply.
+// TenantHealth is one tenant's row in the /healthz reply. The journal
+// fields appear only for durable tenants.
 type TenantHealth struct {
 	Health     string `json:"health"`
 	Inflight   int64  `json:"inflight"`
@@ -206,4 +287,16 @@ type TenantHealth struct {
 	Failed     int64  `json:"failed"`
 	Commits    int64  `json:"commits"`
 	Retries    int64  `json:"retries"`
+	// WalSeq is the last durably journaled sequence; SnapshotSeq the seq
+	// the newest snapshot covers (recovery replays the difference).
+	WalSeq       uint64 `json:"wal_seq,omitempty"`
+	SnapshotSeq  uint64 `json:"snapshot_seq,omitempty"`
+	Snapshots    int64  `json:"snapshots,omitempty"`
+	SnapshotErrs int64  `json:"snapshot_errs,omitempty"`
+	// RecoveredTruncations counts repair actions boot recovery took (torn
+	// or corrupt journal tails cut back); RecoveredBadSnapshots counts
+	// snapshot files it skipped as invalid. Nonzero values are the
+	// operator signal that a crash or disk fault damaged the journal.
+	RecoveredTruncations  int64 `json:"recovered_truncations,omitempty"`
+	RecoveredBadSnapshots int64 `json:"recovered_bad_snapshots,omitempty"`
 }

@@ -162,6 +162,8 @@ const (
 	CodeBatchFailed    = "batch_failed"     // 422: a task body failed
 	CodeUnknownTenant  = "unknown_tenant"   // 404: introspection on absent tenant
 	CodeMethod         = "method_not_allowed" // 405
+	CodeJournal        = "journal_error"    // 503: batch ran but could not be journaled; not applied
+	CodeRecovery       = "recovery_failed"  // 500: tenant journal unrecoverable; operator required
 )
 
 // ErrorReply is every non-2xx body: a typed, machine-readable failure.
@@ -171,6 +173,12 @@ type ErrorReply struct {
 	Error        string `json:"error"`
 	Code         string `json:"code"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	// Applied and Digest carry the original verdict on a 409 duplicate:
+	// the journal position the batch committed at and the state digest
+	// its commit produced. A client whose ack was lost to a crash
+	// resubmits and reads its original result here.
+	Applied int64  `json:"applied,omitempty"`
+	Digest  string `json:"digest,omitempty"`
 }
 
 // StatusCanceled is the non-standard 499 (client closed request) used

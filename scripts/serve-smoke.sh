@@ -1,10 +1,21 @@
 #!/bin/sh
-# Integration smoke for the serving layer: build janus-serve and
-# janus-bench, start the daemon, drive concurrent multi-tenant load
-# through the janus-bench loadgen client (which verifies exactly-once
-# journals and replays the sequential oracle to check state digests),
-# then SIGTERM the daemon and require a clean drain. Any verification
-# failure, drain failure, or leak exits nonzero.
+# Integration smoke for the serving layer, in two phases.
+#
+# Phase 1 (in-memory): start janus-serve, drive concurrent multi-tenant
+# load through the janus-bench loadgen client (which verifies
+# exactly-once journals and replays the sequential oracle to check state
+# digests), then SIGTERM the daemon and require a clean drain.
+#
+# Phase 2 (durable): start janus-serve with a data dir and an armed
+# chaos crash (SIGKILL semantics: the process os.Exits mid-append, no
+# drain, no journal close), drive load until it dies, restart on the
+# same data dir, and run the restart-aware loadgen (-serve-resume): every
+# pre-crash batch ID is resubmitted and must resolve exactly once — 409
+# with its original verdict if it survived the crash, a fresh 200 if its
+# record never reached the journal — before fresh load and the full
+# journal/oracle verification run against the recovered state.
+#
+# Any verification failure, drain failure, or leak exits nonzero.
 set -eu
 
 GO=${GO:-go}
@@ -18,21 +29,25 @@ trap 'rm -rf "$DIR"' EXIT
 "$GO" build -o "$DIR/janus-serve" ./cmd/janus-serve
 "$GO" build -o "$DIR/janus-bench" ./cmd/janus-bench
 
+# wait_up LOGFILE: block until the daemon logs its bound address.
+wait_up() {
+    i=0
+    until grep -q 'listening on' "$1" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "serve-smoke: janus-serve never came up" >&2
+            cat "$1" >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+}
+
+# ---- Phase 1: in-memory load + clean SIGTERM drain -------------------
+
 "$DIR/janus-serve" -addr "$ADDR" -flight-dir "$DIR" >"$DIR/serve.log" 2>&1 &
 SERVE_PID=$!
-
-# Wait for the listener (the daemon logs its bound address on startup).
-i=0
-until grep -q 'listening on' "$DIR/serve.log" 2>/dev/null; do
-    i=$((i + 1))
-    if [ "$i" -gt 50 ]; then
-        echo "serve-smoke: janus-serve never came up" >&2
-        cat "$DIR/serve.log" >&2
-        kill "$SERVE_PID" 2>/dev/null || true
-        exit 1
-    fi
-    sleep 0.1
-done
+wait_up "$DIR/serve.log" || { kill "$SERVE_PID" 2>/dev/null || true; exit 1; }
 
 # Drive load; janus-bench exits nonzero on any lost/duplicated batch or
 # digest mismatch against the sequential oracle.
@@ -52,4 +67,64 @@ if ! grep -q 'drained cleanly' "$DIR/serve.log"; then
     cat "$DIR/serve.log" >&2
     exit 1
 fi
-echo "serve-smoke: OK (tenants=$TENANTS clients=$CLIENTS batches=$BATCHES)"
+echo "serve-smoke: phase 1 OK (in-memory; tenants=$TENANTS clients=$CLIENTS batches=$BATCHES)"
+
+# ---- Phase 2: durable journal, mid-load kill, restart, resume --------
+
+DATA="$DIR/data"
+TOTAL=$((TENANTS * CLIENTS * BATCHES))
+# Die partway through the total append count so acked, in-flight, and
+# never-submitted batches all exist at the moment of death.
+"$DIR/janus-serve" -addr "$ADDR" -flight-dir "$DIR" \
+    -data-dir "$DATA" -fsync always -snapshot-every 16 -segment-bytes 65536 \
+    -chaos-crash "wal.append.after:$((TOTAL / 2))" >"$DIR/serve-crash.log" 2>&1 &
+SERVE_PID=$!
+wait_up "$DIR/serve-crash.log" || { kill "$SERVE_PID" 2>/dev/null || true; exit 1; }
+
+# This client run is EXPECTED to fail: the daemon dies under it. Its job
+# is to create acked batches whose durability the restart must honor.
+"$DIR/janus-bench" -serve "http://$ADDR" \
+    -serve-tenants "$TENANTS" -serve-clients "$CLIENTS" -serve-batches "$BATCHES" \
+    >/dev/null 2>&1 || true
+
+if wait "$SERVE_PID" 2>/dev/null; then
+    echo "serve-smoke: daemon survived an armed chaos crash" >&2
+    cat "$DIR/serve-crash.log" >&2
+    exit 1
+fi
+if ! grep -q 'chaos crash at' "$DIR/serve-crash.log"; then
+    echo "serve-smoke: daemon died without reaching the armed crash point" >&2
+    cat "$DIR/serve-crash.log" >&2
+    exit 1
+fi
+
+# Restart on the same data dir: boot recovery must replay the journals,
+# then the resume run pins down the fate of every pre-crash batch ID and
+# layers fresh load plus full verification on top.
+"$DIR/janus-serve" -addr "$ADDR" -flight-dir "$DIR" \
+    -data-dir "$DATA" -fsync always -snapshot-every 16 -segment-bytes 65536 \
+    >"$DIR/serve-recover.log" 2>&1 &
+SERVE_PID=$!
+wait_up "$DIR/serve-recover.log" || { kill "$SERVE_PID" 2>/dev/null || true; exit 1; }
+if ! grep -q 'recovered' "$DIR/serve-recover.log"; then
+    echo "serve-smoke: restarted daemon reported no recovery" >&2
+    cat "$DIR/serve-recover.log" >&2
+    exit 1
+fi
+
+"$DIR/janus-bench" -serve "http://$ADDR" \
+    -serve-tenants "$TENANTS" -serve-clients "$CLIENTS" -serve-batches "$BATCHES" \
+    -serve-seq-base "$BATCHES" -serve-resume
+
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+    echo "serve-smoke: recovered janus-serve did not drain cleanly" >&2
+    cat "$DIR/serve-recover.log" >&2
+    exit 1
+fi
+if ! grep -q 'drained cleanly' "$DIR/serve-recover.log"; then
+    echo "serve-smoke: recovered daemon missing clean-drain confirmation" >&2
+    cat "$DIR/serve-recover.log" >&2
+    exit 1
+fi
+echo "serve-smoke: phase 2 OK (durable; killed at append $((TOTAL / 2)), recovered, resume verified)"
