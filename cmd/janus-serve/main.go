@@ -81,6 +81,7 @@ func main() {
 		fsyncIvl     = flag.Duration("fsync-interval", 0, "group-commit fsync cadence under -fsync group (0 = default 25ms)")
 		segBytes     = flag.Int64("segment-bytes", 0, "journal segment rotation size (0 = default 4MiB)")
 		snapEvery    = flag.Int("snapshot-every", 0, "snapshot + truncate cadence in applied batches per tenant (0 = default 1024, negative disables)")
+		dedupWindow  = flag.Int("dedup-window", 0, "exactly-once retention: duplicate batch IDs are refused within this many most recent batches per tenant (0 = default 1048576, negative unbounded)")
 		chaosCrash   = flag.String("chaos-crash", "", "kill the process at the Nth visit of a wal crash point, as point:N (e.g. wal.append.after:100); testing only")
 	)
 	flag.Parse()
@@ -119,6 +120,7 @@ func main() {
 		FsyncInterval:    *fsyncIvl,
 		SegmentBytes:     *segBytes,
 		SnapshotEvery:    *snapEvery,
+		DedupWindow:      *dedupWindow,
 		CrashHook:        crashHook(*chaosCrash),
 	})
 	serve.PublishVars("janus.serve", srv)

@@ -102,8 +102,11 @@ func (s *Server) recoverTenant(t *tenant) error {
 		}
 		t.st = st
 		t.applied = int64(snap.Seq)
+		// Snapshot seen tables are sorted by seq, so appending preserves
+		// journal order for the retention window.
 		for _, e := range snap.Seen {
 			t.seen[e.ID] = appliedBatch{seq: e.Seq, digest: e.Digest}
+			t.seenOrder = append(t.seenOrder, seenAt{id: e.ID, seq: e.Seq})
 		}
 		t.lastSnap.Store(snap.Seq)
 	}
@@ -132,7 +135,10 @@ func (s *Server) recoverTenant(t *tenant) error {
 		t.st = next
 		t.applied = int64(r.Seq)
 		t.seen[r.ID] = appliedBatch{seq: r.Seq, digest: r.Digest}
+		t.seenOrder = append(t.seenOrder, seenAt{id: r.ID, seq: r.Seq})
 	}
+	// A restart rebuilds exactly the live index, including its bound.
+	t.evictSeenLocked()
 
 	// Rebuild the display journal (/journalz) from the seen index in
 	// journal order, bounded like the live path bounds it.

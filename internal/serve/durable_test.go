@@ -538,3 +538,92 @@ func TestTenantNameValidation(t *testing.T) {
 		t.Fatalf("valid name rejected: %d", code)
 	}
 }
+
+// TestDedupWindowRetention: the exactly-once index is bounded by
+// Config.DedupWindow. IDs inside the window are refused with their
+// original verdict (including across restarts); IDs that aged out
+// re-apply as new batches — the documented retention trade that keeps
+// the index and every snapshot finite.
+func TestDedupWindowRetention(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableCfg(dir)
+	cfg.DedupWindow = 3
+	srv := NewServer(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	c := ts.Client()
+
+	for i := int64(1); i <= 5; i++ {
+		if code, _ := postBatch(t, c, ts.URL, "win", mixedBatch(fmt.Sprintf("w-%d", i), i), nil); code != http.StatusOK {
+			t.Fatalf("submit %d: %d", i, code)
+		}
+	}
+	var er ErrorReply
+	if code, _ := postBatch(t, c, ts.URL, "win", mixedBatch("w-5", 5), &er); code != http.StatusConflict || er.Applied != 5 {
+		t.Fatalf("in-window duplicate: %d %+v", code, er)
+	}
+	// w-1 aged past the 3-entry window: it re-applies at seq 6.
+	var res BatchResult
+	if code, _ := postBatch(t, c, ts.URL, "win", mixedBatch("w-1", 1), &res); code != http.StatusOK || res.Applied != 6 {
+		t.Fatalf("evicted ID re-apply: %d %+v", code, res)
+	}
+	shutdown(t, srv, ts)
+
+	// A restart rebuilds the identical bounded index: window now holds
+	// w-4 (seq 4), w-5 (seq 5), and the re-applied w-1 (seq 6).
+	srv2 := NewServer(cfg)
+	if _, err := srv2.RecoverTenants(); err != nil {
+		t.Fatalf("boot recovery: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer shutdown(t, srv2, ts2)
+	c2 := ts2.Client()
+	if code, _ := postBatch(t, c2, ts2.URL, "win", mixedBatch("w-5", 5), &er); code != http.StatusConflict || er.Applied != 5 {
+		t.Fatalf("in-window duplicate after restart: %d %+v", code, er)
+	}
+	// A re-applied ID answers with its NEWEST verdict: eviction of the
+	// seq-1 occurrence must not have deleted the seq-6 entry.
+	if code, _ := postBatch(t, c2, ts2.URL, "win", mixedBatch("w-1", 1), &er); code != http.StatusConflict || er.Applied != 6 {
+		t.Fatalf("re-applied ID verdict after restart: %d %+v", code, er)
+	}
+	if code, _ := postBatch(t, c2, ts2.URL, "win", mixedBatch("w-2", 2), &res); code != http.StatusOK {
+		t.Fatalf("evicted ID after restart should re-apply: %d", code)
+	}
+}
+
+// TestRecoveryFailureCachedAndIsolated: a tenant whose journal cannot
+// be recovered fails every submit with the same cached typed error —
+// the journal is replayed (and fails) once, not per request — and a
+// healthy tenant on the same server is unaffected.
+func TestRecoveryFailureCachedAndIsolated(t *testing.T) {
+	dir := t.TempDir()
+	broken := filepath.Join(dir, "broken")
+	if err := os.MkdirAll(broken, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A segment file with the wrong magic is unrecoverable by design
+	// (not crash debris — refuse to guess).
+	if err := os.WriteFile(filepath.Join(broken, "wal-0000000000000001.seg"), []byte("NOTJANUS garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(durableCfg(dir))
+	ts := httptest.NewServer(srv.Handler())
+	c := ts.Client()
+
+	var er ErrorReply
+	if code, _ := postBatch(t, c, ts.URL, "broken", mixedBatch("x-1", 1), &er); code != http.StatusInternalServerError || er.Code != CodeRecovery {
+		t.Fatalf("broken tenant submit: %d %+v, want 500 %s", code, er, CodeRecovery)
+	}
+	// The verdict is cached: both calls return the identical error value
+	// without re-running the (failing) replay.
+	_, err1 := srv.tenantFor("broken")
+	_, err2 := srv.tenantFor("broken")
+	if err1 == nil || err1 != err2 {
+		t.Fatalf("recovery failure not cached: %v vs %v", err1, err2)
+	}
+	// Other tenants serve normally alongside the broken one.
+	if code, _ := postBatch(t, c, ts.URL, "healthy", mixedBatch("h-1", 1), nil); code != http.StatusOK {
+		t.Fatalf("healthy tenant submit: %d", code)
+	}
+	shutdown(t, srv, ts)
+}

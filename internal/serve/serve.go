@@ -80,6 +80,15 @@ type Config struct {
 	// journal segments) after this many applied batches per tenant,
 	// bounding recovery replay. 0 means 1024; negative disables.
 	SnapshotEvery int
+	// DedupWindow bounds each tenant's exactly-once seen index to the
+	// most recently applied batch IDs: a duplicate of a batch older
+	// than the window is no longer refused with its original verdict —
+	// it re-applies as new. The bound is what keeps snapshot size,
+	// snapshot write amplification, and boot-recovery memory finite in
+	// a tenant's lifetime batch count; the window is the documented
+	// idempotency retention. 0 means 1<<20 (a million IDs); negative
+	// disables the bound (the pre-window unbounded behavior).
+	DedupWindow int
 	// CrashHook observes wal crash points for chaos testing; nil in
 	// production.
 	CrashHook wal.Hook
@@ -116,6 +125,9 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = 1024
 	}
+	if c.DedupWindow == 0 {
+		c.DedupWindow = 1 << 20
+	}
 	return c
 }
 
@@ -128,6 +140,13 @@ type Server struct {
 
 	mu      sync.Mutex
 	tenants map[string]*tenant
+	// pending holds tenants being created (journal recovery in flight)
+	// or whose recovery failed — both outside mu, so one tenant
+	// replaying a long journal never stalls another tenant's requests.
+	// A failed slot stays here as a cached verdict: repeated submits to
+	// a broken tenant return the recovery error without re-replaying
+	// the journal (permanent until an operator intervenes and restarts).
+	pending map[string]*tenantSlot
 	// draining refuses new intake; guarded by mu together with wg.Add so
 	// Drain cannot race an admission past the flag.
 	draining bool
@@ -147,30 +166,63 @@ func NewServer(cfg Config) *Server {
 		cfg:     cfg,
 		schIdx:  cfg.Schema.index(),
 		tenants: make(map[string]*tenant),
+		pending: make(map[string]*tenantSlot),
 	}
 }
 
 // Schema returns the served schema (for oracle clients).
 func (s *Server) Schema() Schema { return s.cfg.Schema }
 
+// tenantSlot is a tenant creation in flight (or failed): ready closes
+// once t/err are final. Concurrent first requests for the same tenant
+// share one recovery; a failed recovery is cached so later requests
+// answer immediately instead of re-replaying a journal that cannot
+// recover.
+type tenantSlot struct {
+	ready chan struct{}
+	t     *tenant
+	err   error
+}
+
 // tenantFor returns the named tenant, creating (and, with a data dir,
 // recovering) it on first use. nil with no error means the tenant table
 // is full; an error means recovery of the tenant's journal failed.
+//
+// Creation — which may replay an arbitrarily long journal suffix —
+// runs OUTSIDE the server-wide lock: requests for other tenants
+// proceed while one tenant recovers, and concurrent requests for the
+// recovering tenant wait on its slot rather than redoing the work. A
+// tenant whose recovery failed keeps its slot (and its place in the
+// tenant table count) with the error cached.
 func (s *Server) tenantFor(name string) (*tenant, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if t, ok := s.tenants[name]; ok {
+		s.mu.Unlock()
 		return t, nil
 	}
-	if len(s.tenants) >= s.cfg.MaxTenants {
+	if slot, ok := s.pending[name]; ok {
+		s.mu.Unlock()
+		<-slot.ready
+		return slot.t, slot.err
+	}
+	if len(s.tenants)+len(s.pending) >= s.cfg.MaxTenants {
+		s.mu.Unlock()
 		return nil, nil
 	}
+	slot := &tenantSlot{ready: make(chan struct{})}
+	s.pending[name] = slot
+	s.mu.Unlock()
+
 	t, err := s.newTenant(name)
-	if err != nil {
-		return nil, err
+	slot.t, slot.err = t, err
+	s.mu.Lock()
+	if err == nil {
+		s.tenants[name] = t
+		delete(s.pending, name)
 	}
-	s.tenants[name] = t
-	return t, nil
+	s.mu.Unlock()
+	close(slot.ready)
+	return t, err
 }
 
 // lookup returns an existing tenant or nil (introspection endpoints do

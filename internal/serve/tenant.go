@@ -36,13 +36,20 @@ type tenant struct {
 	st      *janus.State
 	applied int64
 	journal []string
-	// seen maps every applied batch ID to the journal position and state
-	// digest its commit produced: the exactly-once index. A duplicate
+	// seen maps applied batch IDs to the journal position and state
+	// digest their commit produced: the exactly-once index. A duplicate
 	// submission is refused with the original verdict (409 carrying that
 	// seq and digest) — including after a restart, because the index is
 	// rebuilt from the snapshot's seen table plus the journal suffix.
 	// Failed batches never enter it, so the client can retry the same ID.
-	seen map[string]appliedBatch
+	// Retention is bounded by dedupWindow: seenOrder lists the indexed
+	// entries in journal order and the oldest are evicted past the
+	// window, keeping the index (and every snapshot it rides in) finite.
+	seen      map[string]appliedBatch
+	seenOrder []seenAt
+	// dedupWindow is Config.DedupWindow, copied at creation (<=0 means
+	// unbounded).
+	dedupWindow int
 
 	// wal is the tenant's durable journal; nil without a data dir.
 	// Appends happen under the gate (which serializes them) before the
@@ -90,6 +97,15 @@ type appliedBatch struct {
 	digest uint64
 }
 
+// seenAt is one retention-window entry: which ID was applied at which
+// journal seq. The seq rides along so eviction of an old occurrence
+// never deletes a newer apply of the same ID (possible once the ID
+// aged out of the window and was legitimately re-applied).
+type seenAt struct {
+	id  string
+	seq uint64
+}
+
 // newTenant builds a tenant from the server's runner template. With a
 // data dir the tenant's state, applied count, and seen index are first
 // recovered from its journal (see durable.go); the runner then gets a
@@ -98,10 +114,11 @@ type appliedBatch struct {
 // the timeline endpoint.
 func (s *Server) newTenant(name string) (*tenant, error) {
 	t := &tenant{
-		name: name,
-		gate: make(chan struct{}, 1),
-		st:   InitialState(s.cfg.Schema),
-		seen: make(map[string]appliedBatch),
+		name:        name,
+		gate:        make(chan struct{}, 1),
+		st:          InitialState(s.cfg.Schema),
+		seen:        make(map[string]appliedBatch),
+		dedupWindow: s.cfg.DedupWindow,
 	}
 	if s.cfg.DataDir != "" {
 		t.snapEvery = s.cfg.SnapshotEvery
@@ -218,6 +235,8 @@ func (t *tenant) runBatch(ctx context.Context, b *Batch, tasks []janus.Task) (*B
 		t.journal = append(t.journal[:0], t.journal[n-journalCap:]...)
 	}
 	t.seen[b.ID] = appliedBatch{seq: seq, digest: digest64}
+	t.seenOrder = append(t.seenOrder, seenAt{id: b.ID, seq: seq})
+	t.evictSeenLocked()
 	digest := rec.FormatDigest(digest64)
 	t.mu.Unlock()
 
@@ -239,10 +258,33 @@ func (t *tenant) runBatch(ctx context.Context, b *Batch, tasks []janus.Task) (*B
 
 // journalCap bounds the retained in-memory display journal (the
 // /journalz ID listing) per tenant. Exactly-once refusal does NOT
-// degrade past this cap: the seen index maps every applied ID ever to
-// its (seq, digest), survives restarts via snapshot + journal, and is
-// what duplicate detection consults.
+// degrade at this cap: duplicate detection consults the seen index,
+// which survives restarts via snapshot + journal and is bounded only
+// by the much larger (and operator-tunable) Config.DedupWindow.
 const journalCap = 65536
+
+// evictSeenLocked enforces the dedup retention window: once the seen
+// index exceeds dedupWindow entries, the oldest (lowest journal seq)
+// are dropped. An ID older than the window stops being refused as a
+// duplicate — that is the documented retention trade; the alternative
+// is an index (and snapshot) that grows forever. Caller holds t.mu.
+func (t *tenant) evictSeenLocked() {
+	if t.dedupWindow <= 0 {
+		return
+	}
+	n := len(t.seenOrder) - t.dedupWindow
+	if n <= 0 {
+		return
+	}
+	for _, e := range t.seenOrder[:n] {
+		// Only drop the map entry this occurrence owns: a re-applied ID
+		// (aged out, then resubmitted) has a newer entry at a later seq.
+		if ab, ok := t.seen[e.id]; ok && ab.seq == e.seq {
+			delete(t.seen, e.id)
+		}
+	}
+	t.seenOrder = append(t.seenOrder[:0], t.seenOrder[n:]...)
+}
 
 // snapshot reads the tenant's introspection view for /healthz.
 func (t *tenant) snapshot() TenantHealth {

@@ -7,6 +7,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+
+	"repro/internal/fsio"
 )
 
 // Recovered reports what Recover found and did. The serving layer
@@ -116,14 +119,25 @@ func Recover(dir string, opts Options) (*Log, *Recovered, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: creating journal dir: %w", err)
 	}
+	if opts.Policy != FsyncNever {
+		// Make the journal directory itself durable: record fsyncs are
+		// useless if a machine crash forgets the directory ever existed.
+		fsio.SyncDir(filepath.Dir(dir))
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: scanning journal dir: %w", err)
 	}
 	var snapSeqs, segStarts []uint64
 	for _, ent := range entries {
-		// Stray temp files (crash mid-snapshot) and unknown names are
-		// ignored, not errors: fsio temps are invisible until renamed.
+		// Stray fsio temps (crash mid-snapshot, before the rename) are
+		// never valid artifacts — they are invisible until renamed — so
+		// recovery deletes them rather than letting them accumulate
+		// across crash/restart cycles. Other unknown names are ignored.
+		if name := ent.Name(); len(name) > 0 && name[0] == '.' && strings.Contains(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
 		if seq, ok := parseSeqName(ent.Name(), "snap-", ".jsnap"); ok {
 			snapSeqs = append(snapSeqs, seq)
 		} else if seq, ok := parseSeqName(ent.Name(), "wal-", ".seg"); ok {

@@ -13,10 +13,11 @@ import (
 
 // Snapshot is a point-in-time image of a tenant at journal sequence Seq:
 // the encoded shared state (internal/rec's inline state codec), its
-// digest, and the full exactly-once seen index — every batch ID the
-// tenant has ever applied with the sequence and digest it produced, so a
-// restart can answer duplicate submissions with the original verdict
-// even for batches whose journal records have been truncated away.
+// digest, and the exactly-once seen index — the batch IDs inside the
+// serving layer's dedup retention window with the sequence and digest
+// each produced, so a restart can answer duplicate submissions with the
+// original verdict even for batches whose journal records have been
+// truncated away.
 type Snapshot struct {
 	// Seq is the journal sequence the snapshot covers: the state image
 	// reflects records 1..Seq.
@@ -188,10 +189,13 @@ func (l *Log) WriteSnapshot(snap Snapshot) error {
 	l.fsMu.Lock()
 	defer l.fsMu.Unlock()
 	l.mu.Lock()
-	dead := l.dead
+	var dead error
+	if l.dead {
+		dead = l.deadErrLocked()
+	}
 	l.mu.Unlock()
-	if dead {
-		return ErrCrashed
+	if dead != nil {
+		return dead
 	}
 
 	buf := encodeSnapshot(snap)

@@ -44,6 +44,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"repro/internal/fsio"
 )
 
 // Policy selects when appends reach stable storage.
@@ -225,6 +227,15 @@ func walErr(reason Reason, format string, args ...any) *Error {
 // hook: the simulated process is dead, nothing further happens.
 var ErrCrashed = fmt.Errorf("wal: crash point tripped; log poisoned")
 
+// ErrPoisoned reports an operation on a log poisoned by an earlier I/O
+// failure whose effect on the segment tail could not be undone. Nothing
+// further is written: an append after an untrusted tail could bury an
+// acked record behind garbage (silently discarded at recovery as a torn
+// tail) or duplicate a sequence number (recovery fails with SeqGap).
+// The only way forward is a restart through Recover, which truncates
+// the tail back to the last valid record.
+var ErrPoisoned = fmt.Errorf("wal: journal poisoned by earlier I/O failure; restart via Recover")
+
 // Segment file layout:
 //
 //	segment := magic format record*
@@ -243,8 +254,8 @@ const (
 	segHdrSize = len(segMagic) + 1
 )
 
-func segName(startSeq uint64) string  { return fmt.Sprintf("wal-%016x.seg", startSeq) }
-func snapName(seq uint64) string      { return fmt.Sprintf("snap-%016x.jsnap", seq) }
+func segName(startSeq uint64) string { return fmt.Sprintf("wal-%016x.seg", startSeq) }
+func snapName(seq uint64) string     { return fmt.Sprintf("snap-%016x.jsnap", seq) }
 func parseSeqName(name, prefix, suffix string) (uint64, bool) {
 	if len(name) != len(prefix)+16+len(suffix) ||
 		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
@@ -287,6 +298,7 @@ type Log struct {
 	segBytes int64
 	nextSeq  uint64
 	dead     bool
+	deadErr  error // why the log is dead; nil for crash hooks (ErrCrashed)
 	appends  int64
 	syncs    int64
 
@@ -340,14 +352,40 @@ func (l *Log) trip(point string) bool {
 	return true
 }
 
+// poisonLocked marks the log permanently dead with a cause: the
+// segment tail can no longer be trusted, so every later operation
+// fails with ErrPoisoned instead of writing after the damage. Caller
+// holds mu.
+func (l *Log) poisonLocked(cause error) {
+	l.dead = true
+	if l.deadErr == nil {
+		l.deadErr = fmt.Errorf("%w: %w", ErrPoisoned, cause)
+	}
+}
+
+// deadErrLocked reports why the log refuses to operate. Caller holds mu.
+func (l *Log) deadErrLocked() error {
+	if l.deadErr != nil {
+		return l.deadErr
+	}
+	return ErrCrashed
+}
+
 // Append writes one record, durably per the policy, before returning.
 // rec.Seq must be exactly NextSeq — the serving layer derives it from
 // the applied-batch count its gate serializes.
+//
+// A failed append never leaves the journal in a state that could
+// corrupt later acked records: a partial write is physically truncated
+// back to the last good offset (the log stays usable), and if the
+// truncate fails — or an fsync fails, after which the kernel may have
+// silently dropped the dirty pages — the log is poisoned so nothing is
+// ever written after an untrusted tail.
 func (l *Log) Append(rec Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.dead {
-		return ErrCrashed
+		return l.deadErrLocked()
 	}
 	if rec.Seq != l.nextSeq {
 		return walErr(SeqGap, "append seq %d, journal expects %d", rec.Seq, l.nextSeq)
@@ -363,10 +401,25 @@ func (l *Log) Append(rec Record) error {
 	}
 	frame := appendRecordFrame(nil, rec)
 	if _, err := l.f.Write(frame); err != nil {
-		return fmt.Errorf("wal: appending record %d: %w", rec.Seq, err)
+		// A short write left garbage mid-segment. Cut the file back to
+		// the known-good offset so the next append lands after valid
+		// bytes; if even that fails the tail is untrusted — poison.
+		werr := fmt.Errorf("wal: appending record %d: %w", rec.Seq, err)
+		if terr := l.f.Truncate(l.segBytes); terr != nil {
+			l.poisonLocked(fmt.Errorf("appending record %d: %v; truncating damaged tail: %w", rec.Seq, err, terr))
+		}
+		return werr
 	}
 	if l.opts.Policy == FsyncAlways {
 		if err := l.f.Sync(); err != nil {
+			// After a failed fsync the page cache is untrustworthy (the
+			// kernel may have dropped the dirty pages and a later fsync
+			// can falsely succeed), and the frame for this seq may or may
+			// not be on disk. Poison: allowing another append could write
+			// a duplicate seq (recovery fails SeqGap) or bury this frame.
+			// The batch was never acked, so recovery deciding either way
+			// is honest; a retry after restart gets a 409 iff it survived.
+			l.poisonLocked(fmt.Errorf("syncing record %d: %w", rec.Seq, err))
 			return fmt.Errorf("wal: syncing record %d: %w", rec.Seq, err)
 		}
 		l.syncs++
@@ -385,17 +438,21 @@ func (l *Log) Append(rec Record) error {
 }
 
 // Sync flushes the active segment (the group-commit flusher's body;
-// also useful before a planned handoff).
+// also useful before a planned handoff). A failed fsync poisons the
+// log — the kernel may have dropped the dirty pages, so records
+// written since the last good sync can no longer be promised durable
+// and further appends would extend an untrusted tail.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.dead {
-		return ErrCrashed
+		return l.deadErrLocked()
 	}
 	if l.f == nil {
 		return nil
 	}
 	if err := l.f.Sync(); err != nil {
+		l.poisonLocked(fmt.Errorf("syncing segment: %w", err))
 		return err
 	}
 	l.syncs++
@@ -403,19 +460,29 @@ func (l *Log) Sync() error {
 }
 
 // rotateLocked seals the active segment and starts a new one at nextSeq.
+// l.f may be nil when a previous rotation sealed the old segment but
+// failed to open its successor; the retry goes straight to opening.
 func (l *Log) rotateLocked() error {
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: syncing sealed segment: %w", err)
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			l.poisonLocked(fmt.Errorf("syncing sealed segment: %w", err))
+			return fmt.Errorf("wal: syncing sealed segment: %w", err)
+		}
+		if err := l.f.Close(); err != nil {
+			l.f = nil
+			l.poisonLocked(fmt.Errorf("closing sealed segment: %w", err))
+			return fmt.Errorf("wal: closing sealed segment: %w", err)
+		}
+		l.f = nil
 	}
-	if err := l.f.Close(); err != nil {
-		return fmt.Errorf("wal: closing sealed segment: %w", err)
-	}
-	l.f = nil
 	return l.openSegmentLocked(l.nextSeq)
 }
 
 // openSegmentLocked creates the segment starting at startSeq and writes
-// its header.
+// its header. The journal directory is fsynced so the new segment's
+// directory entry survives a machine crash — without it, record fsyncs
+// reach a file no directory mentions, and recovery would silently
+// resume before every batch the segment holds.
 func (l *Log) openSegmentLocked(startSeq uint64) error {
 	path := filepath.Join(l.dir, segName(startSeq))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -426,6 +493,9 @@ func (l *Log) openSegmentLocked(startSeq uint64) error {
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	if l.opts.Policy != FsyncNever {
+		fsio.SyncDir(l.dir)
 	}
 	l.f = f
 	l.segStart = startSeq

@@ -345,6 +345,73 @@ func TestStrayFilesIgnored(t *testing.T) {
 	if rcv.BadSnapshots != 0 || rcv.Truncations != 0 {
 		t.Fatalf("stray files counted as damage: %+v", rcv)
 	}
+	// Crash leftovers are deleted (they would otherwise accumulate
+	// across crash/restart cycles); unrelated files are left alone.
+	if _, err := os.Stat(filepath.Join(dir, ".snap-0000000000000005.jsnap.tmp123")); !os.IsNotExist(err) {
+		t.Fatalf("stray fsio temp survived recovery: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Fatalf("unrelated file removed by recovery: %v", err)
+	}
+}
+
+// TestAppendIOFailurePoisons forces the append path's I/O to fail (the
+// segment file handle is closed out from under the log, so the write
+// and the repair truncate both error) and asserts the log poisons
+// itself instead of writing after an untrusted tail — and that a
+// restart through Recover serves the intact prefix.
+func TestAppendIOFailurePoisons(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustRecover(t, dir, testOpts())
+	appendN(t, l, 1, 3)
+	l.mu.Lock()
+	l.f.Close() // simulate the fd going bad mid-life
+	l.mu.Unlock()
+
+	err := l.Append(Record{Seq: 4, ID: "doomed", Payload: []byte("{}")})
+	if err == nil {
+		t.Fatal("append on closed segment succeeded")
+	}
+	if errors.Is(err, ErrPoisoned) {
+		t.Fatalf("first failure already reported as poison, want the I/O error: %v", err)
+	}
+	// Every later operation fails with the poisoned verdict: no second
+	// frame can land after garbage or duplicate seq 4.
+	if err := l.Append(Record{Seq: 4, ID: "retry", Payload: []byte("{}")}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append on poisoned log: %v, want ErrPoisoned", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("sync on poisoned log: %v, want ErrPoisoned", err)
+	}
+	if err := l.WriteSnapshot(Snapshot{Seq: 3}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("snapshot on poisoned log: %v, want ErrPoisoned", err)
+	}
+	if got := l.NextSeq(); got != 4 {
+		t.Fatalf("NextSeq %d after failed append, want 4 (nothing acked)", got)
+	}
+
+	// The restart path: the durable prefix is intact and appendable.
+	l2, rcv := mustRecover(t, dir, testOpts())
+	checkRecords(t, rcv.Records, 1, 3)
+	appendN(t, l2, 4, 6)
+}
+
+// TestSyncFailurePoisons drives the group-commit Sync path into a
+// failure and asserts the poison carries through (a failed fsync means
+// durability can no longer be promised for anything unsynced).
+func TestSyncFailurePoisons(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustRecover(t, dir, testOpts())
+	appendN(t, l, 1, 2)
+	l.mu.Lock()
+	l.f.Close()
+	l.mu.Unlock()
+	if err := l.Sync(); err == nil {
+		t.Fatal("sync on closed segment succeeded")
+	}
+	if err := l.Append(Record{Seq: 3, ID: "after", Payload: []byte("{}")}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after failed sync: %v, want ErrPoisoned", err)
+	}
 }
 
 func TestCrashHookPoisonsLog(t *testing.T) {
