@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench bench-contention bench-detect bench-commit bench-governor bench-journal chaos soak serve-smoke crash-matrix trace record-replay clean
+.PHONY: all vet build test race check bench bench-contention bench-detect bench-commit bench-oplog bench-governor bench-journal chaos soak serve-smoke crash-matrix trace record-replay clean
 
 all: check
 
@@ -15,7 +15,7 @@ test:
 
 # Short race job over the concurrency-heavy packages (mirrors CI).
 race:
-	$(GO) test -race -count=1 . ./internal/stm ./internal/conflict ./internal/obs ./internal/cache ./internal/vtime ./internal/rec ./internal/serve ./internal/health ./internal/wal ./internal/fsio
+	$(GO) test -race -count=1 . ./internal/stm ./internal/conflict ./internal/oplog ./internal/obs ./internal/cache ./internal/vtime ./internal/rec ./internal/serve ./internal/health ./internal/wal ./internal/fsio
 
 # Short chaos soak under the race detector (mirrors CI): fault-injected
 # runs whose final state is checked against the sequential oracle.
@@ -78,6 +78,19 @@ bench-commit:
 		./internal/stm | tee bench-commit.txt
 	$(GO) run ./cmd/janus-benchjson -file BENCH_commit.json -label after < bench-commit.txt
 
+# Streaming/compression benchmark trajectory: streaming decomposition
+# vs the materializing shim, large-transaction detection (live-B records
+# what each artifact form keeps retained), and the compressed-history
+# window, folded into BENCH_oplog.json under the "after" label. The
+# "before" entry preserves the materialize-everything baseline and is
+# never overwritten by this target. Informational, not gating.
+bench-oplog:
+	$(GO) test -run '^$$' -bench 'BenchmarkDecompose|BenchmarkDetectLargeTxn' \
+		-benchmem ./internal/oplog ./internal/conflict | tee bench-oplog.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkHistoryCompressed' -benchmem \
+		./internal/stm | tee -a bench-oplog.txt
+	$(GO) run ./cmd/janus-benchjson -file BENCH_oplog.json -label after < bench-oplog.txt
+
 # Governed chaos bench: one fault-injected run per workload with the
 # health governor attached; the JSON report records governor_state,
 # demotions, and the full health snapshot. Used by the nightly workflow;
@@ -117,4 +130,4 @@ record-replay:
 		< record-overhead.txt
 
 clean:
-	rm -f out.json bench-contention.txt bench-commit.txt BENCH_governor.json janus.trace record-overhead.txt bench-journal.txt
+	rm -f out.json bench-contention.txt bench-commit.txt bench-oplog.txt BENCH_governor.json janus.trace record-overhead.txt bench-journal.txt

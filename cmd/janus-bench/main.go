@@ -82,6 +82,10 @@ func main() {
 		recFly   = flag.Int("record-flight", 0, "flight-recorder mode: keep only this many trace chunks in memory and dump them on a governor demotion/trip (requires -record and -govern; 0 = stream the whole run)")
 		recGzip  = flag.Bool("record-gzip", false, "gzip-compress trace chunks")
 		stripes  = flag.Int("commit-stripes", 0, "commit-path lock table size for profiled runs (0 = default; 1 = single global commit lock)")
+		histComp = flag.Bool("history-compress", false, "demote committed-history entries past the recent window to compact compressed records in profiled runs (flat-memory large histories; run.demotions/run.hist_bytes record the effect)")
+		compAft  = flag.Int("compress-after", 0, "most-recent committed entries kept in full form under -history-compress (0 = default)")
+		opsTxn   = flag.Int("ops-per-txn", 0, "operations per transaction for the synthetic heavy workload (selects -workloads heavy when no filter is given; 0 = heavy default)")
+		txnSkew  = flag.Float64("txn-skew", 0, "heavy workload location skew: 0 = uniform access, larger values concentrate the footprint on a hot subset")
 		serveURL = flag.String("serve", "", "load-generator client mode: drive a running janus-serve at this base URL and verify the exactly-once/digest contract (exits nonzero on violation)")
 		srvTen   = flag.Int("serve-tenants", 0, "loadgen: tenant count (0 = default)")
 		srvCli   = flag.Int("serve-clients", 0, "loadgen: concurrent clients per tenant (0 = default)")
@@ -101,7 +105,14 @@ func main() {
 		ChaosSeed: *chaosSd, SerializeAfter: *serAfter, BackoffBase: *backoff,
 		Govern: *govern, GovernWindow: *govWin,
 		RecordPath: *record, FlightChunks: *recFly, RecordGzip: *recGzip,
-		CommitStripes: *stripes,
+		CommitStripes:   *stripes,
+		HistoryCompress: *histComp, CompressAfter: *compAft,
+		OpsPerTxn: *opsTxn, TxnSkew: *txnSkew,
+	}
+	if (*opsTxn > 0 || *txnSkew != 0) && *names == "" {
+		// The shape knobs only mean something to the synthetic heavy
+		// workload; select it rather than silently profiling jfilesync.
+		*names = workloads.HeavyName
 	}
 	if *recFly > 0 && *record == "" {
 		fatalf("-record-flight requires -record")
@@ -156,8 +167,8 @@ func main() {
 		profile(out, opts, *traceOut, *jsonOut, *detName)
 		return
 	}
-	if *chaosSd != 0 || *serAfter != 0 || *backoff != 0 || *govern || *govWin != 0 || *record != "" || *stripes != 0 {
-		fatalf("-chaos/-serialize-after/-backoff/-govern/-record/-commit-stripes apply to profiled wall-clock runs; add -json or -trace")
+	if *chaosSd != 0 || *serAfter != 0 || *backoff != 0 || *govern || *govWin != 0 || *record != "" || *stripes != 0 || *histComp || *compAft != 0 {
+		fatalf("-chaos/-serialize-after/-backoff/-govern/-record/-commit-stripes/-history-compress apply to profiled wall-clock runs; add -json or -trace")
 	}
 	wantFig := func(n int) bool { return *figure == 0 && *table == 0 || *figure == n }
 	wantTab := func(n int) bool { return *figure == 0 && *table == 0 || *table == n }
@@ -213,7 +224,7 @@ func profile(out *os.File, opts bench.Opts, traceOut string, jsonOut bool, detNa
 	var reports []bench.RunReport
 	failed := false
 	for _, name := range names {
-		w, err := workloads.ByName(name)
+		w, err := opts.Resolve(name)
 		check(err)
 		var tracer *obs.Trace
 		if traceOut != "" {

@@ -39,6 +39,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"b_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric columns (e.g. live-B retained
+	// memory, retries/txn) keyed by their unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Entry is one labeled benchmark run.
@@ -224,6 +227,16 @@ func parseResult(line string) (*Result, error) {
 		case "allocs/op":
 			if r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
 				return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+			}
+		default:
+			// A custom b.ReportMetric column; keep it under its unit so
+			// trajectories can track memory/ratio metrics the standard
+			// columns don't cover.
+			if v, perr := strconv.ParseFloat(val, 64); perr == nil {
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[unit] = v
 			}
 		}
 	}

@@ -119,6 +119,32 @@ type Opts struct {
 	// in profiled runs (0 = stm.DefaultCommitStripes; 1 = the paper's
 	// single global commit lock, for baseline comparisons).
 	CommitStripes int
+	// HistoryCompress demotes committed-history entries past the
+	// CompressAfter window to compact compressed records in profiled
+	// runs: O(locations) bytes per old entry instead of O(ops), so large
+	// history windows of heavy transactions stay flat in memory. The
+	// report's run.demotions / run.hist_bytes record the effect.
+	HistoryCompress bool
+	// CompressAfter is the number of most-recent committed entries kept
+	// in full form under HistoryCompress (0 = stm.DefaultCompressAfter).
+	CompressAfter int
+	// OpsPerTxn sets the synthetic heavy workload's operations per
+	// transaction (0 = workloads.DefaultHeavyOps). Only the "heavy"
+	// workload reads it.
+	OpsPerTxn int
+	// TxnSkew biases the heavy workload's location choice toward a hot
+	// subset (0 = uniform); see workloads.Heavy.
+	TxnSkew float64
+}
+
+// Resolve returns the named workload. The synthetic "heavy" workload is
+// parameterized by the Opts knobs, so it is constructed here rather than
+// fetched from the fixed paper suite.
+func (o Opts) Resolve(name string) (*workloads.Workload, error) {
+	if name == workloads.HeavyName {
+		return workloads.Heavy(o.OpsPerTxn, o.TxnSkew), nil
+	}
+	return workloads.ByName(name)
 }
 
 func (o Opts) defaults() Opts {
@@ -148,7 +174,7 @@ func (o Opts) suite() ([]*workloads.Workload, error) {
 	}
 	var out []*workloads.Workload
 	for _, name := range o.Workloads {
-		w, err := workloads.ByName(name)
+		w, err := o.Resolve(name)
 		if err != nil {
 			return nil, err
 		}

@@ -45,6 +45,15 @@ type RunReport struct {
 	// CommitStripes echoes the commit-path lock table override the run
 	// used (omitted when the stm default applied).
 	CommitStripes int `json:"commit_stripes,omitempty"`
+	// HistoryCompress / CompressAfter echo the committed-history
+	// compression knobs (omitted when compression was off); the matching
+	// accounting is run.demotions and run.hist_bytes.
+	HistoryCompress bool `json:"history_compress,omitempty"`
+	CompressAfter   int  `json:"compress_after,omitempty"`
+	// OpsPerTxn / TxnSkew echo the heavy-workload shape knobs (omitted
+	// for the paper workloads, which ignore them).
+	OpsPerTxn int     `json:"ops_per_txn,omitempty"`
+	TxnSkew   float64 `json:"txn_skew,omitempty"`
 	// ChaosSeed and Chaos report fault injection: the seed the injector
 	// ran with and the faults it actually delivered. Omitted when the run
 	// was not chaos-enabled.
@@ -115,6 +124,14 @@ func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, trace
 		BackoffBaseNs:  int64(o.BackoffBase),
 		CommitStripes:  o.CommitStripes,
 		ChaosSeed:      o.ChaosSeed,
+	}
+	if o.HistoryCompress {
+		rep.HistoryCompress = true
+		rep.CompressAfter = o.CompressAfter
+	}
+	if w.Name == workloads.HeavyName {
+		rep.OpsPerTxn = o.OpsPerTxn
+		rep.TxnSkew = o.TxnSkew
 	}
 	fail := func(err error) (RunReport, error) {
 		rep.Error = err.Error()
@@ -214,17 +231,19 @@ func ProfileRun(w *workloads.Workload, det Detection, threads int, o Opts, trace
 	}
 	start := time.Now()
 	final, stats, err := stm.Run(stm.Config{
-		Threads:        threads,
-		Ordered:        w.Ordered,
-		Detector:       d,
-		Privatize:      stm.PrivatizePersistent,
-		Tracer:         tr,
-		Backoff:        stm.Backoff{Base: o.BackoffBase},
-		SerializeAfter: o.SerializeAfter,
-		Hooks:          hooks,
-		Governor:       stmGov,
-		Record:         sink,
-		CommitStripes:  o.CommitStripes,
+		Threads:         threads,
+		Ordered:         w.Ordered,
+		Detector:        d,
+		Privatize:       stm.PrivatizePersistent,
+		Tracer:          tr,
+		Backoff:         stm.Backoff{Base: o.BackoffBase},
+		SerializeAfter:  o.SerializeAfter,
+		Hooks:           hooks,
+		Governor:        stmGov,
+		Record:          sink,
+		CommitStripes:   o.CommitStripes,
+		HistoryCompress: o.HistoryCompress,
+		CompressAfter:   o.CompressAfter,
 	}, w.NewState(), tasks)
 	rep.ElapsedNs = int64(time.Since(start))
 	rep.Run = stats

@@ -127,7 +127,7 @@ func TestStatsSchemaRoundTrip(t *testing.T) {
 		Run: stm.Stats{
 			Tasks: 1, Commits: 2, Retries: 3, Conflicts: 4,
 			BackoffWaits: 5, Escalations: 6, CommitStalls: 7,
-			ValidationsSkipped: 8,
+			ValidationsSkipped: 8, Demotions: 9, HistBytes: 10,
 		},
 	}
 	out, err := json.Marshal(rep)
@@ -139,6 +139,8 @@ func TestStatsSchemaRoundTrip(t *testing.T) {
 		"escalations":         `"escalations":6`,
 		"commit_stalls":       `"commit_stalls":7`,
 		"validations_skipped": `"validations_skipped":8`,
+		"demotions":           `"demotions":9`,
+		"hist_bytes":          `"hist_bytes":10`,
 	} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("report JSON missing %s: %s", key, out)
@@ -150,6 +152,48 @@ func TestStatsSchemaRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(back.Run, rep.Run) {
 		t.Errorf("stats did not round-trip: %+v != %+v", back.Run, rep.Run)
+	}
+}
+
+// TestProfileRunHeavyCompressed drives the heavy-transaction workload
+// with history compression through ProfileRun: the run must demote, the
+// knobs must echo in the report, and the accounting must survive the
+// JSON round trip trajectory consumers diff.
+func TestProfileRunHeavyCompressed(t *testing.T) {
+	opts := Opts{
+		Size:            workloads.Small,
+		HistoryCompress: true, CompressAfter: 2,
+		OpsPerTxn: 96, TxnSkew: 1,
+	}
+	w, err := opts.Resolve(workloads.HeavyName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ProfileRun(w, Seq, 2, opts, nil)
+	if err != nil {
+		t.Fatalf("heavy compressed run failed: %v", err)
+	}
+	if rep.Run.Commits != int64(rep.Tasks) {
+		t.Fatalf("commits %d != tasks %d", rep.Run.Commits, rep.Tasks)
+	}
+	if rep.Run.Demotions == 0 || rep.Run.HistBytes <= 0 {
+		t.Fatalf("no demotion accounting: demotions=%d hist_bytes=%d",
+			rep.Run.Demotions, rep.Run.HistBytes)
+	}
+	if !rep.HistoryCompress || rep.CompressAfter != 2 || rep.OpsPerTxn != 96 || rep.TxnSkew != 1 {
+		t.Fatalf("knobs not echoed: %+v", rep)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []RunReport{rep}); err != nil {
+		t.Fatal(err)
+	}
+	var back []RunReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Run.Demotions != rep.Run.Demotions ||
+		back[0].Run.HistBytes != rep.Run.HistBytes || !back[0].HistoryCompress {
+		t.Fatalf("compression accounting lost in round trip: %+v", back)
 	}
 }
 

@@ -1,6 +1,7 @@
 package conflict
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -154,6 +155,68 @@ func BenchmarkDetectHighContention(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// BenchmarkDetectLargeTxn measures detection cost and artifact memory for
+// a transaction two orders of magnitude larger than the usual workload:
+// one identity-add pair on each of 2048 counters (4096 ops, 2048 distinct
+// projection locations). The materialized sub-benchmark pins the
+// pre-streaming path, which carves a full per-location event arena for
+// the whole log on first query; streaming keeps only the location index
+// and renders each overlapping projection on demand into pooled scratch
+// during detection. live-B reports the heap retained by one prepared
+// artifact after a detection pass (GC-fenced delta), the number that used
+// to bound transaction size.
+func BenchmarkDetectLargeTxn(b *testing.B) {
+	const totalOps = 4096
+	for _, tc := range []struct {
+		name string
+		prep func(oplog.Log) *Prepared
+	}{
+		{"materialized", Prepare},
+		{"streaming", PrepareStreaming},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			// Pin the auto threshold so "materialized" stays materialized at
+			// this size; the streaming side is forced explicitly.
+			orig := streamOpsThreshold
+			streamOpsThreshold = 1 << 30
+			defer func() { streamOpsThreshold = orig }()
+			f := benchSetup(b, totalOps/2, 1)
+			var ops []oplog.Op
+			for j := 0; j < totalOps/2; j++ {
+				loc := state.Loc("ctr" + strconv.Itoa(j))
+				d := int64(j%9 + 1)
+				ops = append(ops, adt.NumAddOp{L: loc, Delta: d}, adt.NumAddOp{L: loc, Delta: -d})
+			}
+			l := benchLog(b, f.st, 1, ops...)
+
+			runtime.GC()
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			held := tc.prep(l)
+			if v := f.det.DetectPrepared(obs.Ctx{}, f.st, held, f.committedPrep); v.Conflict {
+				b.Fatal("identity transactions must not conflict")
+			}
+			runtime.GC()
+			runtime.GC()
+			runtime.ReadMemStats(&m1)
+
+			b.ReportAllocs()
+			b.ResetTimer() // note: also clears ReportMetric values
+			for i := 0; i < b.N; i++ {
+				p := tc.prep(l)
+				if v := f.det.DetectPrepared(obs.Ctx{}, f.st, p, f.committedPrep); v.Conflict {
+					b.Fatal("identity transactions must not conflict")
+				}
+			}
+			if m1.HeapAlloc > m0.HeapAlloc {
+				b.ReportMetric(float64(m1.HeapAlloc-m0.HeapAlloc), "live-B")
+			}
+			runtime.KeepAlive(held)
+		})
+	}
 }
 
 // BenchmarkDetectHighContentionLegacy is the same workload on the DetectV

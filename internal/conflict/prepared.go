@@ -31,11 +31,26 @@ import (
 type Prepared struct {
 	log oplog.Log
 
+	// streaming keeps the per-location projections virtual: locations()
+	// discovers the projection-location index only (one small entry per
+	// distinct PLoc, no event or descriptor arenas), and a location's
+	// subsequence is rendered on demand into per-detection scratch and
+	// released after the verdict. Chosen automatically for large logs so
+	// detection memory stays flat in ops/txn; see streamOpsThreshold.
+	streaming bool
+
+	// packed, when non-nil, is the compact compressed record of a demoted
+	// committed-history entry (see packed.go); log is nil and every
+	// projection decodes from the record.
+	packed *packedRec
+
 	// locs memoizes the per-location decomposition with its symbolic
 	// shapes. Only the sequence detector consumes it — the write-set
 	// detector compares whole-log access modes — so it is computed on
 	// first use (locations), not at Prepare: a run under write-set
-	// detection never pays for decomposition at all.
+	// detection never pays for decomposition at all. In streaming or
+	// compressed mode the entries are index stubs (location and wildcard
+	// flag only; seq and syms nil) rendered on demand via renderLoc.
 	locsOnce sync.Once
 	locs     []preparedLoc
 
@@ -88,6 +103,11 @@ const footprintScanBound = 64
 // relation land on the same footprint entry.
 func (p *Prepared) Footprint() []FootprintLoc {
 	p.footOnce.Do(func() {
+		if p.packed != nil {
+			p.foot = p.packed.footprint()
+			p.sigAll, p.sigWrite = p.packed.sigAll, p.packed.sigWrite
+			return
+		}
 		var idx map[state.Loc]int
 		for _, e := range p.log {
 			for _, a := range e.Acc {
@@ -139,6 +159,10 @@ func (p *Prepared) Footprint() []FootprintLoc {
 // locations set equal bits, so the test has no false negatives, and a
 // collision merely costs a precise check.
 func (p *Prepared) Signatures() (sigAll, sigWrite uint64) {
+	if p.packed != nil {
+		// Stored at compression time; the immutable record needs no memo.
+		return p.packed.sigAll, p.packed.sigWrite
+	}
 	p.Footprint()
 	return p.sigAll, p.sigWrite
 }
@@ -160,6 +184,13 @@ type preparedLoc struct {
 	seq      oplog.Log
 	syms     []oplog.Sym
 	wildcard bool
+
+	// packed/pIdx back-reference a compressed record's location slot; set
+	// only on the index stubs of a compressed artifact (and carried into
+	// their rendered scratch copies), where seq is nil and the access
+	// modes decode from the record instead of the subsequence.
+	packed *packedRec
+	pIdx   int
 
 	// modes memoizes the subsequence's access modes for the write-set
 	// fallback paths (wildcard extents, cache misses, relaxed residuals).
@@ -184,7 +215,11 @@ type preparedLoc struct {
 func (pl *preparedLoc) seqKey(c *cache.Cache) (key []byte, ok bool) {
 	pl.keyOnce.Do(func() {
 		pl.keyMode = c.Mode()
-		pl.key = c.AppendSeqKey(nil, pl.syms)
+		// Append into the existing buffer: nil for a shared artifact (the
+		// memo is rendered once), the slot's reusable buffer for a
+		// scratch-rendered location (re-rendered per pair, so the
+		// capacity amortizes).
+		pl.key = c.AppendSeqKey(pl.key[:0], pl.syms)
 	})
 	if pl.keyMode != c.Mode() {
 		return nil, false
@@ -232,6 +267,8 @@ func (p *Prepared) Recycle() {
 	p.locs = p.locs[:0]
 	p.locsOnce = sync.Once{}
 	p.log = nil
+	p.streaming = false
+	p.packed = nil
 	p.modesOnce = sync.Once{}
 	p.modes = nil
 	p.footOnce = sync.Once{}
@@ -241,13 +278,35 @@ func (p *Prepared) Recycle() {
 	preparedPool.Put(p)
 }
 
+// streamOpsThreshold is the op count from which Prepare switches to
+// streaming projections: below it the materialized arenas are small and
+// their memoization wins (every projection computed exactly once per
+// artifact); from it up, detection renders per-location subsequences on
+// demand into pooled scratch so memory stays flat no matter how large
+// the transaction grows. A var so tests and benchmarks can pin either
+// mode at equal sizes.
+var streamOpsThreshold = 256
+
 // prepareInto binds the artifact to its log. p is either freshly
 // allocated or recycled (all lazy state zeroed by Recycle), never a live
 // shared value. Every projection is lazy; nothing else is computed here.
 func prepareInto(p *Prepared, l oplog.Log) *Prepared {
 	p.log = l
+	p.streaming = len(l) >= streamOpsThreshold
 	return p
 }
+
+// PrepareStreaming is Prepare with streaming projections forced
+// regardless of log size (tests and memory benchmarks; production uses
+// the automatic threshold).
+func PrepareStreaming(l oplog.Log) *Prepared {
+	p := Prepare(l)
+	p.streaming = true
+	return p
+}
+
+// Streaming reports whether the artifact keeps its projections virtual.
+func (p *Prepared) Streaming() bool { return p.streaming }
 
 // locations returns the per-location decomposition, materializing it on
 // first use and sharing it read-only thereafter (safe for concurrent
@@ -259,6 +318,33 @@ func (p *Prepared) locations() []preparedLoc {
 }
 
 func (p *Prepared) materializeLocs() {
+	if p.packed != nil {
+		// Index stubs over the compressed record: location and wildcard
+		// flag for the overlap walk, back-references for on-demand decode.
+		r := p.packed
+		if cap(p.locs) < len(r.locs) {
+			p.locs = make([]preparedLoc, len(r.locs))
+		} else {
+			p.locs = p.locs[:len(r.locs)]
+		}
+		for i := range r.locs {
+			p.locs[i] = preparedLoc{p: r.locs[i].p, wildcard: r.locs[i].wildcard, packed: r, pIdx: i}
+		}
+		return
+	}
+	if p.streaming {
+		// Discovery pass only: the index in first-access order, no arenas.
+		infos := p.dec.Stream(p.log)
+		if cap(p.locs) < len(infos) {
+			p.locs = make([]preparedLoc, len(infos))
+		} else {
+			p.locs = p.locs[:len(infos)]
+		}
+		for i := range infos {
+			p.locs[i] = preparedLoc{p: infos[i].P, wildcard: infos[i].P.IsWildcard()}
+		}
+		return
+	}
 	decomp := p.dec.Decompose(p.log)
 	if len(decomp) == 0 {
 		p.locs = p.locs[:0]
@@ -303,25 +389,120 @@ func PrepareAll(logs []oplog.Log) []*Prepared {
 	return out
 }
 
-// Log returns the underlying transaction log.
+// Log returns the underlying transaction log (nil for a compressed
+// artifact, which retains no events).
 func (p *Prepared) Log() oplog.Log { return p.log }
 
 // Ops returns the number of logged operations.
-func (p *Prepared) Ops() int { return len(p.log) }
+func (p *Prepared) Ops() int {
+	if p.packed != nil {
+		return p.packed.ops
+	}
+	return len(p.log)
+}
 
 // NumLocs returns the number of projection locations the log touches.
 func (p *Prepared) NumLocs() int { return len(p.locations()) }
 
 // accessModes returns the whole-log write-set modes, computing them on
-// first use.
+// first use. A compressed artifact reconstructs them from the record's
+// per-location entries.
 func (p *Prepared) accessModes() map[oplog.PLoc]mode {
-	p.modesOnce.Do(func() { p.modes = accessModes(p.log) })
+	p.modesOnce.Do(func() {
+		if p.packed != nil {
+			p.modes = p.packed.allModes()
+			return
+		}
+		p.modes = accessModes(p.log)
+	})
 	return p.modes
 }
 
+// virtual reports whether the location is an index stub (streaming or
+// compressed artifact) whose subsequence must be rendered before use.
+func (pl *preparedLoc) virtual() bool { return pl.syms == nil }
+
+// renderSlot is one reusable rendering target: a preparedLoc whose seq,
+// syms, and cache-key buffers are owned by the slot and recycled across
+// renders. Single-goroutine; the memo Onces are re-armed per render so
+// the rendered location behaves exactly like a materialized one to
+// pairVerdict.
+type renderSlot struct {
+	pl   preparedLoc
+	seq  oplog.Log
+	syms []oplog.Sym
+}
+
+// renderScratch holds the two rendering slots one detection call needs —
+// the running transaction's side and the committed side — drawn from a
+// pool per DetectPrepared call that meets a virtual location and
+// released (dropping all event references) after the verdict.
+type renderScratch struct {
+	t, c renderSlot
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(renderScratch) }}
+
+func getScratch() *renderScratch { return scratchPool.Get().(*renderScratch) }
+
+// release drops the slots' event and descriptor references (keeping
+// buffer capacity) and returns the scratch to the pool.
+func (sc *renderScratch) release() {
+	for _, sl := range [...]*renderSlot{&sc.t, &sc.c} {
+		clear(sl.seq)
+		sl.seq = sl.seq[:0]
+		clear(sl.syms)
+		sl.syms = sl.syms[:0]
+		key := sl.pl.key
+		sl.pl = preparedLoc{}
+		sl.pl.key = key[:0]
+	}
+	scratchPool.Put(sc)
+}
+
+// renderLoc materializes a virtual location into the slot and returns
+// the rendered preparedLoc. For a streaming artifact the subsequence is
+// streamed out of the log (oplog.SubseqIter); for a compressed one the
+// symbolic shape is decoded from the record (no events exist — seq stays
+// nil and the access modes decode on demand). A non-virtual location
+// passes through untouched.
+func (p *Prepared) renderLoc(src *preparedLoc, sl *renderSlot) *preparedLoc {
+	if !src.virtual() {
+		return src
+	}
+	key := sl.pl.key
+	sl.pl = preparedLoc{p: src.p, wildcard: src.wildcard, packed: src.packed, pIdx: src.pIdx}
+	sl.pl.key = key[:0]
+	if src.packed != nil {
+		sl.syms = src.packed.appendSyms(sl.syms[:0], src.pIdx)
+		sl.pl.syms = sl.syms
+		return &sl.pl
+	}
+	sl.seq, sl.syms = sl.seq[:0], sl.syms[:0]
+	it := p.log.Subseq(src.p)
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		sl.seq = append(sl.seq, e)
+		sl.syms = append(sl.syms, e.Op.Sym())
+	}
+	sl.pl.seq = sl.seq
+	sl.pl.syms = sl.syms
+	return &sl.pl
+}
+
 // accessModes returns the subsequence's write-set modes, computing them
-// on first use.
+// on first use — from the events for a materialized or rendered
+// subsequence, decoded from the compressed record for a demoted one.
 func (pl *preparedLoc) accessModes() map[oplog.PLoc]mode {
-	pl.modesOnce.Do(func() { pl.modes = accessModes(pl.seq) })
+	pl.modesOnce.Do(func() {
+		if pl.packed != nil {
+			pl.modes = pl.packed.locModes(pl.pIdx)
+			return
+		}
+		pl.modes = accessModes(pl.seq)
+	})
 	return pl.modes
 }

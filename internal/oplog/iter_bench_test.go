@@ -1,0 +1,96 @@
+package oplog
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/state"
+)
+
+// benchLog builds a large log: total single-access events spread over
+// nLocs scalar locations.
+func benchLog(nLocs, total int) Log {
+	st := state.New()
+	l := make(Log, 0, total)
+	for i := 0; i < total; i++ {
+		loc := state.Loc("l" + strconv.Itoa(i%nLocs))
+		l = append(l, mkEvent(1, i, fakeOp{loc: loc, add: 1}, st))
+	}
+	return l
+}
+
+// BenchmarkDecomposeStream compares the materializing decomposition
+// against the streaming one on a large transaction (4096 ops over 64
+// locations), each iteration on a fresh Decomposer — the per-transaction
+// shape. The materialized path allocates an arena proportional to total
+// accesses; the streaming path allocates proportional to distinct
+// locations only, which is the flat-memory property large-transaction
+// detection builds on.
+func BenchmarkDecomposeStream(b *testing.B) {
+	l := benchLog(64, 4096)
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var d Decomposer
+			out := d.Decompose(l)
+			n := 0
+			for _, ps := range out {
+				n += len(ps.Seq)
+			}
+			if n != len(l) {
+				b.Fatal("bad decomposition")
+			}
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var d Decomposer
+			locs := d.Stream(l)
+			n := 0
+			for _, li := range locs {
+				it := d.Iter(li.P)
+				for {
+					if _, ok := it.Next(); !ok {
+						break
+					}
+					n++
+				}
+			}
+			if n != len(l) {
+				b.Fatal("bad stream")
+			}
+		}
+	})
+}
+
+// BenchmarkDecomposerCrossover measures the first-access-discovery
+// crossover between the linear scan and the index map, pinning each path
+// in turn at equal input sizes by overriding linearScanAccesses. The
+// interesting regime is many distinct locations (the scan's worst case:
+// loc count ≈ access count); the fixture keeps locations = accesses/2 so
+// half the finds are misses over a growing output slice. Used to tune
+// the linearScanAccesses constant; see the comment there for the result.
+func BenchmarkDecomposerCrossover(b *testing.B) {
+	for _, total := range []int{16, 32, 48, 64, 96, 128, 256} {
+		l := benchLog(total/2, total)
+		b.Run("scan/"+strconv.Itoa(total), func(b *testing.B) {
+			defer func(v int) { linearScanAccesses = v }(linearScanAccesses)
+			linearScanAccesses = 1 << 30
+			var d Decomposer
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d.Decompose(l)
+			}
+		})
+		b.Run("map/"+strconv.Itoa(total), func(b *testing.B) {
+			defer func(v int) { linearScanAccesses = v }(linearScanAccesses)
+			linearScanAccesses = 0
+			var d Decomposer
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d.Decompose(l)
+			}
+		})
+	}
+}

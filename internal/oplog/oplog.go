@@ -177,20 +177,26 @@ type Decomposer struct {
 	counts []int
 	arena  Log
 	idx    map[PLoc]int
+	src    Log
+	locs   []LocInfo
 }
 
 // linearScanAccesses bounds the access count under which first-access
-// discovery runs by linear scan over the output slice; larger logs build
-// the index map. Typical transactions touch a handful of locations, and
-// below this bound the scan beats a map both in time and allocation.
-const linearScanAccesses = 64
+// discovery runs by linear scan over the output slice; logs with at least
+// this many accesses build the index map. Measured with
+// BenchmarkDecomposerCrossover: on few-location logs (the typical
+// transaction) scan and map are within noise of each other at every size,
+// but when distinct locations grow with the log the scan goes quadratic —
+// the map is ahead by 32 total accesses (1.3×) and 2× ahead by 48 — so
+// the bound sits at the worst-case crossover rather than the historical
+// 64, which paid up to 2.7× on 64-access many-location logs. A var so the
+// crossover benchmark can pin either path at equal input sizes.
+var linearScanAccesses = 32
 
-// Decompose splits l into per-location subsequences in first-access
-// order, program order within each (the DECOMPOSE step of Figure 8). The
-// returned slice and the Logs it references are owned by the Decomposer
-// and remain valid until its next Decompose or Release call; callers that
-// retain the result must not reuse the Decomposer.
-func (d *Decomposer) Decompose(l Log) []PLocSeq {
+// discover runs the first pass of decomposition: locations in
+// first-access order into d.out (Seq left nil) with subsequence lengths
+// in d.counts. Returns the total access count.
+func (d *Decomposer) discover(l Log) int {
 	total := 0
 	for _, e := range l {
 		total += len(e.Acc)
@@ -198,9 +204,9 @@ func (d *Decomposer) Decompose(l Log) []PLocSeq {
 	d.out = d.out[:0]
 	d.counts = d.counts[:0]
 	if total == 0 {
-		return d.out
+		return 0
 	}
-	useMap := total > linearScanAccesses
+	useMap := total >= linearScanAccesses
 	if useMap {
 		if d.idx == nil {
 			d.idx = make(map[PLoc]int, 16)
@@ -208,25 +214,9 @@ func (d *Decomposer) Decompose(l Log) []PLocSeq {
 			clear(d.idx)
 		}
 	}
-	find := func(p PLoc) int {
-		if useMap {
-			if i, ok := d.idx[p]; ok {
-				return i
-			}
-			return -1
-		}
-		for i := range d.out {
-			if d.out[i].P == p {
-				return i
-			}
-		}
-		return -1
-	}
-	// First pass: discover locations in first-access order and count each
-	// subsequence's length.
 	for _, e := range l {
 		for _, a := range e.Acc {
-			if i := find(a.P); i >= 0 {
+			if i := d.find(a.P, useMap); i >= 0 {
 				d.counts[i]++
 				continue
 			}
@@ -237,6 +227,37 @@ func (d *Decomposer) Decompose(l Log) []PLocSeq {
 			d.counts = append(d.counts, 1)
 		}
 	}
+	return total
+}
+
+// find locates p in the discovered set, by index map or linear scan.
+// useMap must match the value discover chose for this log.
+func (d *Decomposer) find(p PLoc, useMap bool) int {
+	if useMap {
+		if i, ok := d.idx[p]; ok {
+			return i
+		}
+		return -1
+	}
+	for i := range d.out {
+		if d.out[i].P == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Decompose splits l into per-location subsequences in first-access
+// order, program order within each (the DECOMPOSE step of Figure 8). The
+// returned slice and the Logs it references are owned by the Decomposer
+// and remain valid until its next Decompose or Release call; callers that
+// retain the result must not reuse the Decomposer.
+func (d *Decomposer) Decompose(l Log) []PLocSeq {
+	total := d.discover(l)
+	if total == 0 {
+		return d.out
+	}
+	useMap := total >= linearScanAccesses
 	// Second pass: carve per-location windows out of one arena and fill.
 	if cap(d.arena) < total {
 		d.arena = make(Log, total)
@@ -250,7 +271,7 @@ func (d *Decomposer) Decompose(l Log) []PLocSeq {
 	}
 	for _, e := range l {
 		for _, a := range e.Acc {
-			i := find(a.P)
+			i := d.find(a.P, useMap)
 			d.out[i].Seq = append(d.out[i].Seq, e)
 		}
 	}
@@ -266,6 +287,11 @@ func (d *Decomposer) Release() {
 	}
 	d.out = d.out[:0]
 	d.counts = d.counts[:0]
+	d.src = nil
+	for i := range d.locs {
+		d.locs[i] = LocInfo{}
+	}
+	d.locs = d.locs[:0]
 }
 
 // DecomposeOrdered is Decompose returning the subsequences as a slice in

@@ -323,6 +323,18 @@ type Config struct {
 	// MaxTxnOps bounds a single transaction's operation log; an op past
 	// the budget is refused with *OplogBudgetError. 0 means unlimited.
 	MaxTxnOps int
+	// HistoryCompress demotes committed-history entries that age out of
+	// the recent window to compact compressed records: O(locations) bytes
+	// per old entry instead of O(ops), so a large MaxHistory of heavy
+	// transactions stays flat in memory. Detectors screen compressed
+	// entries by footprint signature and decode only on overlap; the
+	// optional Online concrete check degrades to the sound write-set
+	// fallback against them. See RunStats.Run.Demotions/HistBytes.
+	HistoryCompress bool
+	// CompressAfter is the number of most-recent committed entries kept
+	// in full form under HistoryCompress. 0 means the stm default
+	// (stm.DefaultCompressAfter); ignored unless HistoryCompress is set.
+	CompressAfter int
 	// CommitStripes sets the runtime's commit-path location lock table
 	// size: a committing transaction locks only the stripes its footprint
 	// hashes into, so footprint-disjoint transactions replay their
@@ -545,20 +557,22 @@ func (r *Runner) run(ctx context.Context, initial *State, tasks []Task, ordered 
 		stmGov = gov
 	}
 	final, stats, err := stm.RunCtx(ctx, stm.Config{
-		Threads:        r.cfg.Threads,
-		Ordered:        ordered,
-		Detector:       det,
-		Privatize:      r.cfg.Privatize,
-		MaxRetries:     r.cfg.MaxRetries,
-		ReclaimLogs:    r.cfg.ReclaimLogs,
-		Tracer:         tracer,
-		Backoff:        r.cfg.Backoff,
-		SerializeAfter: r.cfg.SerializeAfter,
-		Governor:       stmGov,
-		MaxHistory:     r.cfg.MaxHistory,
-		MaxTxnOps:      r.cfg.MaxTxnOps,
-		CommitStripes:  r.cfg.CommitStripes,
-		Record:         r.cfg.Record,
+		Threads:         r.cfg.Threads,
+		Ordered:         ordered,
+		Detector:        det,
+		Privatize:       r.cfg.Privatize,
+		MaxRetries:      r.cfg.MaxRetries,
+		ReclaimLogs:     r.cfg.ReclaimLogs,
+		Tracer:          tracer,
+		Backoff:         r.cfg.Backoff,
+		SerializeAfter:  r.cfg.SerializeAfter,
+		Governor:        stmGov,
+		MaxHistory:      r.cfg.MaxHistory,
+		MaxTxnOps:       r.cfg.MaxTxnOps,
+		HistoryCompress: r.cfg.HistoryCompress,
+		CompressAfter:   r.cfg.CompressAfter,
+		CommitStripes:   r.cfg.CommitStripes,
+		Record:          r.cfg.Record,
 	}, initial, tasks)
 	rs := RunStats{Run: stats}
 	inner := det
